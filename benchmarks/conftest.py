@@ -1,0 +1,94 @@
+"""Shared fixtures for the paper-reproduction benchmark harness.
+
+Each ``test_figXX_*`` benchmark regenerates one table or figure of the
+paper.  The heavy simulation work is shared through session-scoped
+fixtures (one characterization suite, one victim-cache suite, one
+prefetch suite); the rendered text of every figure is printed and also
+written to ``benchmarks/out/``.
+
+Environment knobs:
+
+- ``REPRO_BENCH_LENGTH``: measured accesses per workload (default 40000;
+  the warm-up adds half of this again).
+- ``REPRO_BENCH_WORKLOADS``: comma-separated subset of workloads.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.sim.sweep import run_suite
+from repro.traces.workloads import SPEC2000
+
+LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "60000"))
+WARMUP = LENGTH // 2
+_names_env = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+WORKLOADS = [w for w in _names_env.split(",") if w] or list(SPEC2000)
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def write_figure(name: str, text: str) -> None:
+    """Print a rendered figure and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def characterization_suite():
+    """Base (with metrics) + perfect-cache runs for every workload.
+
+    Feeds Figures 1, 2, 4, 5, 7, 8, 9, 10, 11, 14, 15, 16.
+    """
+    return run_suite(
+        {
+            "base": {"collect_metrics": True},
+            "perfect": {"perfect_non_cold": True},
+        },
+        workloads=WORKLOADS,
+        length=LENGTH,
+        warmup=WARMUP,
+    )
+
+
+@pytest.fixture(scope="session")
+def victim_suite():
+    """Base + three victim-cache variants (Figure 13)."""
+    return run_suite(
+        {
+            "base": {},
+            "victim": {"victim_filter": "unfiltered"},
+            "collins": {"victim_filter": "collins"},
+            "timekeeping": {"victim_filter": "timekeeping"},
+        },
+        workloads=WORKLOADS,
+        length=LENGTH,
+        warmup=WARMUP,
+    )
+
+
+@pytest.fixture(scope="session")
+def prefetch_suite():
+    """Base + timekeeping (8KB) + DBCP (2MB) prefetchers (Figs 19-21)."""
+    return run_suite(
+        {
+            "base": {},
+            "timekeeping": {"prefetcher": "timekeeping"},
+            "dbcp": {"prefetcher": "dbcp"},
+        },
+        workloads=WORKLOADS,
+        length=LENGTH,
+        warmup=WARMUP,
+    )
+
+
+def merged_metrics(characterization_suite):
+    """All-workload merged TimekeepingMetrics views used by the
+    distribution figures (the paper aggregates over the whole suite)."""
+    metrics = [res["base"].metrics for res in characterization_suite.values()]
+    return metrics

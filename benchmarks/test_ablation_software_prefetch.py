@@ -1,0 +1,61 @@
+"""Ablation (§2.2 / §5.2.3) — interaction with software prefetching.
+
+The paper's binaries use SPEC peak settings with aggressive software
+prefetching, treated as normal memory references; §5.2.3 reports
+"similar results when ignoring all the software prefetches".  This
+bench injects compiler-style software prefetches into a regular
+workload and compares the timekeeping prefetcher's gain with them
+present (treated as loads) vs stripped.
+"""
+
+from repro.analysis.report import format_table
+from repro.sim.simulator import simulate
+from repro.traces.workloads import get_workload
+
+from conftest import LENGTH, WARMUP, write_figure
+
+
+def test_ablation_software_prefetch(benchmark):
+    spec = get_workload("swim")
+    plain = spec.build(length=LENGTH + WARMUP)
+    annotated = plain.with_software_prefetches(distance=128, period=6)
+    stripped = annotated.without_software_prefetches()
+
+    def run(trace):
+        base = simulate(trace, ipa=spec.ipa, warmup=WARMUP)
+        tk = simulate(trace, ipa=spec.ipa, prefetcher="timekeeping", warmup=WARMUP)
+        return base, tk
+
+    def build():
+        return {
+            "plain": run(plain),
+            "with sw prefetch": run(annotated),
+            "sw prefetch stripped": run(stripped),
+        }
+
+    results = benchmark.pedantic(build, rounds=1, iterations=1)
+    rows = []
+    gains = {}
+    for label, (base, tk) in results.items():
+        gains[label] = tk.speedup_over(base)
+        rows.append([
+            label, f"{base.ipc:.3f}", f"{tk.ipc:.3f}", f"{gains[label]:+.1%}",
+            f"{base.l1_miss_rate:.1%}",
+        ])
+    text = format_table(
+        ["trace variant", "base IPC", "tk-prefetch IPC", "tk gain",
+         "base miss rate"],
+        rows,
+        title="Ablation — software-prefetch interaction (swim)",
+    )
+    write_figure("ablation_software_prefetch", text)
+
+    # The paper's observation: timekeeping prefetch behaves similarly
+    # with software prefetches treated as references or removed.
+    assert gains["with sw prefetch"] > 0.1
+    assert gains["sw prefetch stripped"] > 0.1
+    ratio = gains["with sw prefetch"] / gains["sw prefetch stripped"]
+    assert 0.3 < ratio < 3.0
+    # SW prefetching itself lowers the base miss penalty (its whole
+    # point), so the annotated base should not be slower than plain.
+    assert results["with sw prefetch"][0].ipc >= results["plain"][0].ipc * 0.9

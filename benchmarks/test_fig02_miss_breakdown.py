@@ -1,0 +1,44 @@
+"""Figure 2 — breakdown of L1D misses into conflict / cold / capacity.
+
+Paper shape: programs with the biggest potential improvement (right
+side of Figure 1) have comparatively more capacity misses; the
+low-potential integer codes are conflict-dominated.
+"""
+
+from repro.analysis.report import stacked_bars
+from repro.common.types import MissClass
+from repro.sim.sweep import speedups
+
+from conftest import write_figure
+
+
+def test_fig02_miss_breakdown(characterization_suite, benchmark):
+    def build():
+        rows = {}
+        for name, results in characterization_suite.items():
+            mc = results["base"].miss_counts
+            rows[name] = [mc.conflict, mc.cold, mc.capacity]
+        return rows
+
+    rows = benchmark(build)
+    potential = speedups(characterization_suite, "perfect", "base")
+    ordered = {k: rows[k] for k in sorted(rows, key=lambda n: potential[n])}
+    text = stacked_bars(
+        ordered,
+        ["conflict", "cold", "capacity"],
+        title="Figure 2 — L1D miss breakdown (sorted by Fig-1 potential)",
+    )
+    write_figure("fig02_miss_breakdown", text)
+
+    def frac(name, kind):
+        mc = characterization_suite[name]["base"].miss_counts
+        return mc.fraction(kind)
+
+    # Conflict-dominated left side.
+    for name in ("gzip", "vpr", "crafty"):
+        if name in rows:
+            assert frac(name, MissClass.CONFLICT) > 0.6
+    # Capacity-dominated right side.
+    for name in ("swim", "ammp", "applu", "mcf"):
+        if name in rows:
+            assert frac(name, MissClass.CAPACITY) > 0.5

@@ -1,0 +1,46 @@
+"""Figure 20 — address accuracy and coverage of the 8KB correlation
+table for the eight best performers.
+
+Paper shape: good accuracy/coverage for the regular codes (ammp best),
+low address accuracy for art and mcf (mcf needs megabyte tables), with
+coverage (predictor hit rate) high across the board thanks to
+constructive aliasing.
+"""
+
+from repro.analysis.report import format_table
+from repro.traces.workloads import BEST_PERFORMERS
+
+from conftest import write_figure
+
+
+def test_fig20_address_accuracy(prefetch_suite, benchmark):
+    def build():
+        rows = {}
+        for name in BEST_PERFORMERS:
+            if name not in prefetch_suite:
+                continue
+            pf = prefetch_suite[name]["timekeeping"].prefetch
+            rows[name] = (pf.address_accuracy, pf.coverage)
+        return rows
+
+    rows = benchmark(build)
+    text = format_table(
+        ["benchmark", "address accuracy", "coverage (table hit rate)"],
+        [[n, a, c] for n, (a, c) in rows.items()],
+        title="Figure 20 — 8KB correlation table, eight best performers",
+    )
+    write_figure("fig20_address_accuracy", text)
+
+    assert rows
+    # Regular triads predict nearly perfectly.
+    for name in ("swim", "ammp"):
+        if name in rows:
+            assert rows[name][0] > 0.7
+            assert rows[name][1] > 0.6
+    # mcf's pointer chase defeats the small table (paper: low accuracy).
+    if "mcf" in rows and "ammp" in rows:
+        assert rows["mcf"][0] < 0.3
+        assert rows["mcf"][0] < rows["ammp"][0]
+    # art's noisy lookups drag accuracy down.
+    if "art" in rows and "swim" in rows:
+        assert rows["art"][0] < rows["swim"][0]

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Cache-decay study: the substrate behind dead-block prediction.
+
+The paper's first dead-block predictor (§5.1.1) is cache decay: a line
+idle beyond the decay interval is predicted dead and can be powered off
+to save leakage.  This example sweeps the decay interval over two
+workloads with opposite reuse profiles and relates the result to the
+dead-time distribution that the timekeeping metrics expose.
+
+Run:  python examples/decay_study.py
+"""
+
+from repro.analysis.report import format_table, percent
+from repro.sim.sweep import run_workload
+
+INTERVALS = [2_048, 8_192, 32_768, 131_072]
+
+
+def study(name: str) -> None:
+    configs = {"base": {"collect_metrics": True}}
+    for interval in INTERVALS:
+        configs[f"decay {interval}"] = {"decay_interval": interval}
+    results = run_workload(name, configs, length=50_000)
+    base = results["base"]
+
+    print(f"\n=== {name} ===")
+    dead = base.metrics.dead_time
+    print(f"dead-time profile: mean {dead.mean:,.0f} cycles, "
+          f"{percent(dead.fraction_below(2000))} below 2K, "
+          f"{percent(dead.fractions()[-1])} beyond 10K")
+    rows = []
+    for interval in INTERVALS:
+        r = results[f"decay {interval}"]
+        rows.append([
+            f"{interval:,}",
+            percent(r.decay.off_fraction),
+            r.decay.induced_misses,
+            r.decay.clean_decays,
+            f"{r.speedup_over(base):+.2%}",
+        ])
+    print(format_table(
+        ["interval (cycles)", "line-cycles off", "induced misses",
+         "clean decays", "IPC delta"],
+        rows,
+    ))
+
+
+def main() -> None:
+    # gzip: hot working set re-referenced across long pauses — decay
+    # must be tuned generously or it keeps killing live lines.
+    study("gzip")
+    # applu: streaming — generations end in long dead times, so decay
+    # saves most line-cycles nearly for free.
+    study("applu")
+    print("\nThe connection to the paper: decay *is* the idle-time dead-block")
+    print("predictor of Figure 14 — accurate only at large intervals, which")
+    print("is fine for leakage but too late to schedule a timely prefetch;")
+    print("hence the live-time predictor of Figure 16.")
+
+
+if __name__ == "__main__":
+    main()

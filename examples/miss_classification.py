@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""On-the-fly conflict-miss identification (paper Sections 3-4).
+
+Shows the three timekeeping conflict predictors — reload interval,
+dead time, zero live time — evaluated against ground-truth 3C
+classification, including the accuracy/coverage tradeoff curves.
+
+Run:  python examples/miss_classification.py
+"""
+
+from repro import build_workload, get_workload, simulate
+from repro.analysis.report import format_table
+from repro.core.predictors.conflict import (
+    FIG8_THRESHOLDS,
+    accuracy_coverage_curve,
+    evaluate_dead_time_predictor,
+    evaluate_reload_predictor,
+    evaluate_zero_live_predictor,
+)
+
+
+def main() -> None:
+    # vpr mixes set-thrashing conflicts with streaming capacity misses —
+    # exactly the populations the predictors must separate.
+    spec = get_workload("vpr")
+    trace = spec.build(length=80_000)
+    result = simulate(trace, ipa=spec.ipa, collect_metrics=True, warmup=20_000)
+    cors = result.metrics.miss_correlations
+    mc = result.miss_counts
+    print(f"vpr: {mc.total} classified misses "
+          f"({mc.conflict} conflict, {mc.capacity} capacity, {mc.cold} cold)")
+    print(f"{len(cors)} non-cold misses carry previous-generation metrics\n")
+
+    # The three predictors at their paper operating points.
+    reload_stats = evaluate_reload_predictor(cors)          # < 16K cycles
+    dead_stats = evaluate_dead_time_predictor(cors)         # < 1K cycles
+    zero_stats = evaluate_zero_live_predictor(cors)         # live == 0
+    print(format_table(
+        ["predictor", "operating point", "accuracy", "coverage"],
+        [
+            ["reload interval", "< 16K cycles", reload_stats.accuracy,
+             reload_stats.coverage],
+            ["dead time", "< 1K cycles", dead_stats.accuracy, dead_stats.coverage],
+            ["zero live time", "re-reference bit", zero_stats.accuracy,
+             zero_stats.coverage],
+        ],
+        title="Conflict-miss predictors (paper §4.1)",
+    ))
+
+    # Walking the reload-interval threshold (Figure 8): accuracy holds
+    # until the threshold starts swallowing capacity reloads.
+    print()
+    rows = accuracy_coverage_curve(cors, "reload", FIG8_THRESHOLDS)
+    print(format_table(
+        ["reload threshold", "accuracy", "coverage"],
+        [[f"{t:>7} cycles", a, c] for t, a, c in rows],
+        title="Threshold sweep (Figure 8 shape)",
+    ))
+    print("\nPick the largest threshold before the accuracy drop — the")
+    print("paper lands on 16K cycles, where coverage is already high.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Prefetcher comparison (paper Section 5).
+
+Runs the timekeeping prefetcher (8KB), the DBCP baseline (2MB), and a
+classic stride prefetcher over three contrasting workloads, and breaks
+down the timekeeping prefetches by timeliness.
+
+Run:  python examples/prefetch_study.py
+"""
+
+from repro import PrefetchTimeliness
+from repro.analysis.report import format_table, stacked_bars
+from repro.sim.sweep import run_workload
+
+CONFIGS = {
+    "base": {},
+    "timekeeping": {"prefetcher": "timekeeping"},
+    "dbcp": {"prefetcher": "dbcp"},
+    "stride": {"prefetcher": "stride"},
+}
+
+SEGMENTS = [
+    PrefetchTimeliness.EARLY, PrefetchTimeliness.DISCARDED,
+    PrefetchTimeliness.TIMELY, PrefetchTimeliness.LATE,
+    PrefetchTimeliness.NOT_STARTED,
+]
+
+
+def main() -> None:
+    rows = []
+    timeliness = {}
+    for name in ("ammp", "mcf", "twolf"):
+        results = run_workload(name, CONFIGS, length=60_000)
+        base = results["base"]
+        tk = results["timekeeping"]
+        rows.append([
+            name,
+            f"{tk.speedup_over(base):+.1%}",
+            f"{results['dbcp'].speedup_over(base):+.1%}",
+            f"{results['stride'].speedup_over(base):+.1%}",
+            f"{tk.prefetch.address_accuracy:.0%}",
+            f"{tk.prefetch.coverage:.0%}",
+        ])
+        counts = tk.prefetch.timeliness
+        timeliness[name] = [
+            counts.correct[s] + counts.wrong[s] for s in SEGMENTS
+        ]
+    print(format_table(
+        ["workload", "timekeeping 8KB", "DBCP 2MB", "stride", "tk accuracy",
+         "tk coverage"],
+        rows,
+        title="Prefetcher comparison (IPC gain over base)",
+    ))
+    print()
+    print(stacked_bars(
+        {k: v for k, v in timeliness.items() if sum(v)},
+        ["early", "discarded", "timely", "late", "not_started"],
+        title="Timekeeping prefetch timeliness",
+    ))
+    print()
+    print("Reading the results:")
+    print(" - ammp: perfectly regular triad; the tiny table predicts both")
+    print("   the next tag and the live time, so prefetches are timely.")
+    print(" - mcf: 24K pointer-chase nodes thrash the 8KB table; only the")
+    print("   2MB DBCP covers it (the paper's table-size argument).")
+    print(" - twolf: random placement lookups; neither predictor finds a")
+    print("   pattern, and the confirmation bit keeps them from guessing.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Reporting and figure-assembly helpers for the benchmark harness."""
+
+from . import paper_targets
+from .report import bar_chart, distribution_rows, format_table, percent, stacked_bars
+from .venn import VennSummary, classify_benchmarks
+
+__all__ = [
+    "paper_targets",
+    "bar_chart",
+    "distribution_rows",
+    "format_table",
+    "percent",
+    "stacked_bars",
+    "VennSummary",
+    "classify_benchmarks",
+]

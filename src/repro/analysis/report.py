@@ -1,0 +1,135 @@
+"""Text rendering for the benchmark harness.
+
+The paper's tables and figures are regenerated as text: aligned tables
+for per-benchmark numbers and horizontal ASCII bar charts for the
+distribution and speedup figures.  Everything returns strings so tests
+can assert on content and benchmarks can print.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths) and len(cell) > widths[i]:
+                widths[i] = len(cell)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def percent(value: float, *, digits: int = 1) -> str:
+    """Format a ratio as a percentage string (0.113 -> '11.3%')."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def bar_chart(
+    items: Mapping[str, float],
+    *,
+    width: int = 50,
+    title: Optional[str] = None,
+    fmt: str = "{:.3f}",
+    max_value: Optional[float] = None,
+) -> str:
+    """Horizontal ASCII bar chart; negative values get '<' bars."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if not items:
+        return title or ""
+    peak = max_value if max_value is not None else max(
+        (abs(v) for v in items.values()), default=1.0
+    )
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(k) for k in items)
+    for label, value in items.items():
+        filled = int(round(abs(value) / peak * width))
+        filled = min(filled, width)
+        char = "#" if value >= 0 else "<"
+        lines.append(
+            f"{label.ljust(label_width)} |{char * filled}{' ' * (width - filled)}| "
+            + fmt.format(value)
+        )
+    return "\n".join(lines)
+
+
+def stacked_bars(
+    items: Mapping[str, Sequence[float]],
+    segment_names: Sequence[str],
+    *,
+    width: int = 40,
+    title: Optional[str] = None,
+) -> str:
+    """Stacked 100% bars (the paper's miss-breakdown / timeliness style).
+
+    Each item's values are normalized to their sum; segments are drawn
+    with successive characters from ``#=+.o*`` in order.
+    """
+    chars = "#=+.o*"
+    if len(segment_names) > len(chars):
+        raise ValueError(f"at most {len(chars)} segments supported")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    legend = "  ".join(f"{chars[i]}={name}" for i, name in enumerate(segment_names))
+    lines.append(f"[{legend}]")
+    if not items:
+        return "\n".join(lines)
+    label_width = max(len(k) for k in items)
+    for label, values in items.items():
+        total = sum(values)
+        bar = ""
+        if total > 0:
+            for i, value in enumerate(values):
+                bar += chars[i] * int(round(value / total * width))
+        bar = bar[:width].ljust(width)
+        shares = " ".join(
+            f"{name}={v / total * 100:.0f}%" if total else f"{name}=0%"
+            for name, v in zip(segment_names, values)
+        )
+        lines.append(f"{label.ljust(label_width)} |{bar}| {shares}")
+    return "\n".join(lines)
+
+
+def distribution_rows(
+    fractions: Sequence[float],
+    bin_width: int,
+    *,
+    max_rows: int = 12,
+    unit: str = "cycles",
+) -> str:
+    """Compact rendering of a histogram's head plus its overflow bin."""
+    lines: List[str] = []
+    shown = min(max_rows, len(fractions) - 1)
+    for i in range(shown):
+        lo = i * bin_width
+        hi = (i + 1) * bin_width - 1
+        lines.append(f"  [{lo:>8}-{hi:>8}] {unit}: {fractions[i] * 100:6.2f}%")
+    tail = sum(fractions[shown:-1])
+    if len(fractions) - 1 > shown:
+        lines.append(f"  [ ...tail... ]       : {tail * 100:6.2f}%")
+    lines.append(f"  [  overflow  ]       : {fractions[-1] * 100:6.2f}%")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Cache frame (block) state.
+
+A :class:`Frame` is one physical block slot.  Besides the usual
+tag/valid/dirty state it carries the *timekeeping* fields the paper's
+mechanisms read: generation start time, last access time, hit count (for
+zero-live-time detection), the live-time register (``lt_register`` in
+Figure 18, trailing the generation-time counter by one access), the
+previous resident tag (``prev_tag``, used both by the Collins victim
+filter and as the 1-miss history of the timekeeping predictor), and
+prefetch state.
+
+All times are absolute cycles; the coarse-grained global-tick counters
+of the hardware proposal are modelled separately in
+:mod:`repro.core.tick` and validated against these exact values.
+"""
+
+from __future__ import annotations
+
+
+class Frame:
+    """One cache block slot and its per-frame timekeeping state."""
+
+    __slots__ = (
+        "set_index",
+        "way",
+        "valid",
+        "tag",
+        "block_addr",
+        "dirty",
+        "lru_stamp",
+        "fill_time",
+        "last_access_time",
+        "hit_count",
+        "lt_register",
+        "prev_tag",
+        "prefetched",
+        "prefetch_used",
+    )
+
+    def __init__(self, set_index: int, way: int) -> None:
+        self.set_index = set_index
+        self.way = way
+        self.valid = False
+        self.tag = -1
+        #: Full block-aligned address currently resident (-1 when invalid).
+        self.block_addr = -1
+        self.dirty = False
+        #: Monotone stamp used by the LRU policy.
+        self.lru_stamp = 0
+        #: Cycle the current generation began (fill time).
+        self.fill_time = 0
+        #: Cycle of the most recent access (fill or hit).
+        self.last_access_time = 0
+        #: Demand hits received by the current resident after its fill.
+        self.hit_count = 0
+        #: Live time so far: last_access_time - fill_time as of the most
+        #: recent *hit* (trails the generation counter by one access).
+        self.lt_register = 0
+        #: Tag of the block that occupied this frame before the current
+        #: one (-1 before the second fill).
+        self.prev_tag = -1
+        #: True while the resident block was installed by a prefetch and
+        #: has not yet been demand-referenced.
+        self.prefetched = False
+        #: True if a prefetched resident has been demand-referenced.
+        self.prefetch_used = False
+
+    def live_time(self) -> int:
+        """Live time of the resident generation as defined by the paper.
+
+        Zero when the block was filled and never hit again.
+        """
+        return self.lt_register if self.hit_count > 0 else 0
+
+    def dead_time(self, now: int) -> int:
+        """Dead time if the resident block were evicted at *now*."""
+        return now - self.last_access_time
+
+    def reset_generation(self, block_addr: int, tag: int, now: int, *, prefetched: bool = False) -> None:
+        """Begin a new generation for *block_addr* at cycle *now*."""
+        if self.valid:
+            self.prev_tag = self.tag
+        self.valid = True
+        self.tag = tag
+        self.block_addr = block_addr
+        self.dirty = False
+        self.fill_time = now
+        self.last_access_time = now
+        self.hit_count = 0
+        self.lt_register = 0
+        self.prefetched = prefetched
+        self.prefetch_used = False
+
+    def record_hit(self, now: int, *, store: bool = False) -> None:
+        """Record a demand hit at cycle *now*.
+
+        The first demand use of a *prefetched* block re-anchors the
+        generation start: the block may have arrived long before it was
+        needed, and live time is defined over demand activity — without
+        the re-anchor, early prefetch arrivals would inflate live times
+        and poison the live-time predictor.
+        """
+        if self.prefetched and not self.prefetch_used:
+            self.prefetch_used = True
+            self.fill_time = now
+            self.lt_register = 0
+            self.hit_count = 1
+            self.last_access_time = now
+            if store:
+                self.dirty = True
+            return
+        self.hit_count += 1
+        self.lt_register = now - self.fill_time
+        self.last_access_time = now
+        if store:
+            self.dirty = True
+
+    def __repr__(self) -> str:
+        state = f"addr={self.block_addr:#x}" if self.valid else "invalid"
+        return f"Frame(set={self.set_index}, way={self.way}, {state})"

@@ -1,0 +1,180 @@
+"""Set-associative cache mechanism.
+
+:class:`SetAssociativeCache` implements pure cache *mechanism* — tag
+match, victim selection, fill — and exposes the resident :class:`Frame`
+objects so policy layers (generation tracking, victim filters,
+prefetchers) can read and annotate per-frame state without the cache
+knowing about them.
+
+The access protocol is split so callers can observe evictions:
+
+    frame = cache.probe(block_addr)          # None on miss
+    if frame is None:
+        victim = cache.choose_victim(block_addr)
+        ... inspect victim (dead time, dirty, ...) ...
+        cache.fill(victim, block_addr, now)
+    else:
+        cache.touch(frame, now)
+
+``probe``/``touch``/``fill`` are kept small and allocation-free; they are
+the simulator's hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from ..common.config import CacheConfig
+from .block import Frame
+from .replacement import LRUPolicy, ReplacementPolicy
+
+
+class SetAssociativeCache:
+    """A set-associative cache of :class:`Frame` slots.
+
+    Addresses given to this class are *block addresses* (byte address
+    right-shifted by the block offset) — use :meth:`block_address` to
+    convert.  Keeping the shift at the caller avoids repeating it on the
+    L2 path where the block size differs.
+    """
+
+    def __init__(self, config: CacheConfig, policy: Optional[ReplacementPolicy] = None) -> None:
+        self.config = config
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.num_sets = config.num_sets
+        self.associativity = config.associativity
+        self._set_mask = self.num_sets - 1
+        self._sets: List[List[Frame]] = [
+            [Frame(s, w) for w in range(config.associativity)] for s in range(self.num_sets)
+        ]
+        #: Monotone counter driving LRU stamps.
+        self._clock = 0
+        # Aggregate counters (mechanism-level; outcome-level stats live
+        # in the simulator).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- address helpers ----------------------------------------------------
+
+    def block_address(self, byte_address: int) -> int:
+        """Convert a byte address to this cache's block address."""
+        return byte_address >> self.config.offset_bits
+
+    def set_index_of(self, block_addr: int) -> int:
+        """Set index for a block address."""
+        return block_addr & self._set_mask
+
+    def tag_of(self, block_addr: int) -> int:
+        """Tag for a block address."""
+        return block_addr >> self.config.index_bits
+
+    # -- access protocol ----------------------------------------------------
+
+    def probe(self, block_addr: int) -> Optional[Frame]:
+        """Return the resident frame for *block_addr*, or None on miss.
+
+        Does not update replacement state; pair with :meth:`touch`.
+        """
+        for frame in self._sets[block_addr & self._set_mask]:
+            if frame.valid and frame.block_addr == block_addr:
+                return frame
+        return None
+
+    def touch(self, frame: Frame, now: int, *, store: bool = False) -> None:
+        """Record a demand hit on *frame* at cycle *now*."""
+        self.hits += 1
+        frame.record_hit(now, store=store)
+        if self.policy.stamps_on_hit:
+            self._clock += 1
+            frame.lru_stamp = self._clock
+
+    def choose_victim(self, block_addr: int) -> Frame:
+        """Pick the frame that a fill of *block_addr* would replace.
+
+        Prefers an invalid frame; otherwise delegates to the policy.
+        """
+        frames = self._sets[block_addr & self._set_mask]
+        for frame in frames:
+            if not frame.valid:
+                return frame
+        return self.policy.choose_victim(frames)
+
+    def fill(self, frame: Frame, block_addr: int, now: int, *, store: bool = False,
+             prefetched: bool = False, lru_insert: bool = False) -> None:
+        """Install *block_addr* into *frame*, starting a new generation.
+
+        With ``lru_insert`` the new block enters at the least-recently-
+        used position of its set instead of the most recent — the usual
+        anti-pollution placement for speculative (prefetched) lines: a
+        wrong prefetch is then the next block evicted rather than a
+        demand line.
+        """
+        if frame.valid:
+            self.evictions += 1
+        if not prefetched:
+            self.misses += 1
+        frame.reset_generation(block_addr, self.tag_of(block_addr), now, prefetched=prefetched)
+        if store:
+            frame.dirty = True
+        if lru_insert and self.associativity > 1:
+            frames = self._sets[block_addr & self._set_mask]
+            frame.lru_stamp = min(f.lru_stamp for f in frames if f is not frame) - 1
+        else:
+            self._clock += 1
+            frame.lru_stamp = self._clock
+
+    def access(self, block_addr: int, now: int, *, store: bool = False,
+               lru_insert: bool = False) -> bool:
+        """Convenience probe+touch / choose+fill; returns True on hit."""
+        frame = self.probe(block_addr)
+        if frame is not None:
+            self.touch(frame, now, store=store)
+            return True
+        victim = self.choose_victim(block_addr)
+        self.fill(victim, block_addr, now, store=store, lru_insert=lru_insert)
+        return False
+
+    def invalidate(self, block_addr: int) -> Optional[Frame]:
+        """Remove *block_addr* if resident; return its frame."""
+        frame = self.probe(block_addr)
+        if frame is not None:
+            frame.valid = False
+            frame.block_addr = -1
+        return frame
+
+    # -- introspection -------------------------------------------------------
+
+    def frames(self) -> Iterator[Frame]:
+        """Iterate all frames (valid and invalid)."""
+        for frames in self._sets:
+            yield from frames
+
+    def set_frames(self, set_index: int) -> List[Frame]:
+        """Frames of one set (the actual list; treat as read-only)."""
+        return self._sets[set_index]
+
+    def resident_blocks(self) -> Iterator[int]:
+        """Block addresses currently resident."""
+        return (f.block_addr for f in self.frames() if f.valid)
+
+    @property
+    def accesses(self) -> int:
+        """Demand accesses observed (hits + misses)."""
+        return self.hits + self.misses
+
+    def miss_rate(self) -> float:
+        """Demand miss rate (0 when no accesses yet)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        """Zero the aggregate counters; contents are untouched (warm-up)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SetAssociativeCache({self.config.name}: {self.num_sets}x"
+            f"{self.associativity} ways, {self.config.block_size}B blocks)"
+        )

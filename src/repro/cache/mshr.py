@@ -1,0 +1,75 @@
+"""Miss status holding registers.
+
+An :class:`MSHRFile` bounds the number of distinct outstanding misses
+and merges requests to a block already in flight.  The trace-driven
+simulator uses it on the prefetch path — limiting concurrent prefetches
+to the paper's 32 prefetch MSHRs and preventing duplicate prefetches of
+a block already being fetched — and to merge demand requests with
+in-flight prefetches (a demand to an in-flight prefetched block waits
+only the remaining latency).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..common.errors import ConfigError
+
+
+class MSHRFile:
+    """Tracks blocks in flight: block address -> completion cycle."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ConfigError(f"MSHR file needs >= 1 entry, got {entries}")
+        self.entries = entries
+        self._inflight: Dict[int, int] = {}
+        # Statistics.
+        self.allocations = 0
+        self.merges = 0
+        self.full_rejections = 0
+
+    def __len__(self) -> int:
+        return len(self._inflight)
+
+    def expire(self, now: int) -> None:
+        """Retire entries whose fetch completed at or before *now*."""
+        if not self._inflight:
+            return
+        done = [addr for addr, t in self._inflight.items() if t <= now]
+        for addr in done:
+            del self._inflight[addr]
+
+    def lookup(self, block_addr: int) -> Optional[int]:
+        """Completion cycle if *block_addr* is in flight, else None."""
+        return self._inflight.get(block_addr)
+
+    def allocate(self, block_addr: int, completes_at: int) -> bool:
+        """Reserve an entry for *block_addr*.
+
+        Returns False (and counts a rejection) when the file is full.
+        A block already in flight is merged: the entry is kept with the
+        earlier completion time.
+        """
+        existing = self._inflight.get(block_addr)
+        if existing is not None:
+            self.merges += 1
+            if completes_at < existing:
+                self._inflight[block_addr] = completes_at
+            return True
+        if len(self._inflight) >= self.entries:
+            self.full_rejections += 1
+            return False
+        self._inflight[block_addr] = completes_at
+        self.allocations += 1
+        return True
+
+    def release(self, block_addr: int) -> None:
+        """Explicitly drop an entry (e.g. cancelled prefetch)."""
+        self._inflight.pop(block_addr, None)
+
+    def reset_stats(self) -> None:
+        """Zero the counters; in-flight entries are kept (warm-up)."""
+        self.allocations = 0
+        self.merges = 0
+        self.full_rejections = 0

@@ -1,0 +1,76 @@
+"""Replacement policies for set-associative caches.
+
+A policy chooses a victim frame within a set.  Frames carry an
+``lru_stamp`` that the cache updates on every touch; LRU and FIFO read
+it (FIFO by only stamping on fill), Random ignores it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from ..common.errors import ConfigError
+from ..common.rng import make_rng
+from .block import Frame
+
+
+class ReplacementPolicy(abc.ABC):
+    """Strategy interface: pick the victim among a set's frames."""
+
+    #: Whether the cache should refresh ``lru_stamp`` on hits (True for
+    #: recency-based policies, False for FIFO).
+    stamps_on_hit: bool = True
+
+    @abc.abstractmethod
+    def choose_victim(self, frames: Sequence[Frame]) -> Frame:
+        """Return the frame to evict; invalid frames are preferred by the
+        cache before this is consulted."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently used frame (paper's L2 policy)."""
+
+    stamps_on_hit = True
+
+    def choose_victim(self, frames: Sequence[Frame]) -> Frame:
+        return min(frames, key=lambda f: f.lru_stamp)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict the oldest-filled frame regardless of hits."""
+
+    stamps_on_hit = False
+
+    def choose_victim(self, frames: Sequence[Frame]) -> Frame:
+        return min(frames, key=lambda f: f.lru_stamp)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Evict a uniformly random frame (deterministic under a seed)."""
+
+    stamps_on_hit = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = make_rng(seed, "random-replacement")
+
+    def choose_victim(self, frames: Sequence[Frame]) -> Frame:
+        return frames[self._rng.randrange(len(frames))]
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, *, seed: int = 0) -> ReplacementPolicy:
+    """Instantiate a policy by name ('lru', 'fifo', 'random')."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ConfigError(f"unknown replacement policy {name!r}; known: {', '.join(_POLICIES)}") from None
+    if cls is RandomPolicy:
+        return RandomPolicy(seed=seed)
+    return cls()

@@ -1,0 +1,101 @@
+"""Fully-associative victim cache (Jouppi-style).
+
+A small LRU buffer that holds blocks recently evicted from the L1.  On
+an L1 miss the victim cache is probed in parallel; a hit swaps the block
+back into L1 at a small latency instead of going to L2.
+
+Admission is delegated to a filter policy (see
+:mod:`repro.core.victim`): the paper's contribution is *which* evicted
+blocks deserve a victim entry — unfiltered, Collins-style previous-tag
+matching, or the timekeeping dead-time threshold.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ..common.errors import ConfigError
+
+
+class VictimCache:
+    """LRU fully-associative buffer of evicted block addresses.
+
+    Keyed by L1 block address.  Stores the eviction time with each entry
+    so occupancy statistics can be derived.
+    """
+
+    def __init__(self, entries: int = 32, hit_latency: int = 1) -> None:
+        if entries < 1:
+            raise ConfigError(f"victim cache needs >= 1 entry, got {entries}")
+        if hit_latency < 0:
+            raise ConfigError("victim hit_latency must be non-negative")
+        self.entries = entries
+        self.hit_latency = hit_latency
+        self._blocks: "OrderedDict[int, int]" = OrderedDict()
+        # Statistics.
+        self.probes = 0
+        self.hits = 0
+        self.fills = 0
+        self.rejected = 0
+        self.lru_evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def __contains__(self, block_addr: int) -> bool:
+        return block_addr in self._blocks
+
+    def probe(self, block_addr: int) -> bool:
+        """Look up *block_addr* on an L1 miss; remove it on hit.
+
+        A hit means the block is swapped back into the L1, so the entry
+        leaves the victim cache (the classic swap behavior).
+        """
+        self.probes += 1
+        if block_addr in self._blocks:
+            del self._blocks[block_addr]
+            self.hits += 1
+            return True
+        return False
+
+    def insert(self, block_addr: int, now: int) -> Optional[int]:
+        """Admit an evicted block; return the block LRU-evicted, if any.
+
+        Call only for blocks the admission filter accepted; use
+        :meth:`reject` to count filtered-out victims.
+        """
+        evicted = None
+        if block_addr in self._blocks:
+            # Re-inserting an already-present block just refreshes LRU.
+            del self._blocks[block_addr]
+        elif len(self._blocks) >= self.entries:
+            evicted, _ = self._blocks.popitem(last=False)
+            self.lru_evictions += 1
+        self._blocks[block_addr] = now
+        self.fills += 1
+        return evicted
+
+    def reject(self) -> None:
+        """Count a victim the admission filter kept out."""
+        self.rejected += 1
+
+    def hit_rate(self) -> float:
+        """Fraction of probes that hit."""
+        return self.hits / self.probes if self.probes else 0.0
+
+    def fill_traffic(self) -> int:
+        """Number of blocks entered (the paper's Figure 13 bottom metric)."""
+        return self.fills
+
+    def clear(self) -> None:
+        """Drop all entries (statistics are kept)."""
+        self._blocks.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the counters; buffered blocks are kept (warm-up)."""
+        self.probes = 0
+        self.hits = 0
+        self.fills = 0
+        self.rejected = 0
+        self.lru_evictions = 0

@@ -1,0 +1,6 @@
+"""Miss classification substrate: LRU stacks and the 3C classifier."""
+
+from .lru_stack import BoundedLRU, LRUStack
+from .three_c import MissCounts, ThreeCClassifier
+
+__all__ = ["BoundedLRU", "LRUStack", "MissCounts", "ThreeCClassifier"]

@@ -1,0 +1,83 @@
+"""LRU stack / stack-distance machinery.
+
+A classic tool behind associativity studies (Hill & Smith): for each
+reference, the *stack distance* is the number of distinct blocks
+referenced since the previous reference to the same block.  A
+fully-associative LRU cache of capacity C hits exactly the references
+with stack distance < C, which is what the 3C classifier needs.
+
+:class:`LRUStack` offers exact distances (O(n) per access, for analysis
+and tests); :class:`BoundedLRU` is the O(1) bounded variant the
+classifier uses in the simulation hot path.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..common.errors import ConfigError
+
+
+class LRUStack:
+    """Exact LRU stack over an unbounded set of blocks.
+
+    :meth:`reference` returns the stack distance of each reference
+    (None for first touches).  Distances start at 0 for an immediate
+    re-reference.
+    """
+
+    def __init__(self) -> None:
+        self._stack: List[int] = []
+
+    def reference(self, block: int) -> Optional[int]:
+        """Reference *block*; return its stack distance or None if new."""
+        try:
+            depth = self._stack.index(block)
+        except ValueError:
+            self._stack.insert(0, block)
+            return None
+        del self._stack[depth]
+        self._stack.insert(0, block)
+        return depth
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def distance_histogram(self, blocks) -> Dict[Optional[int], int]:
+        """Convenience: run a sequence and histogram the distances."""
+        hist: Dict[Optional[int], int] = {}
+        for block in blocks:
+            d = self.reference(block)
+            hist[d] = hist.get(d, 0) + 1
+        return hist
+
+
+class BoundedLRU:
+    """Fully-associative LRU cache of *capacity* blocks, O(1) per access.
+
+    Models the equal-capacity fully-associative cache of Hill's conflict
+    definition.  ``access`` returns True on hit.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigError(f"BoundedLRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._blocks: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, block: int) -> bool:
+        """Touch *block*; returns True if it was resident (hit)."""
+        if block in self._blocks:
+            self._blocks.move_to_end(block)
+            return True
+        if len(self._blocks) >= self.capacity:
+            self._blocks.popitem(last=False)
+        self._blocks[block] = None
+        return False
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)

@@ -1,0 +1,97 @@
+"""Hill's 3C miss classification (cold / conflict / capacity).
+
+Definitions (paper Section 4, after Hill):
+
+- **cold**: first reference ever to the block;
+- **conflict**: the miss would have hit in a fully-associative LRU
+  cache of the same total capacity;
+- **capacity**: the miss would miss even in that fully-associative
+  cache.
+
+:class:`ThreeCClassifier` runs a fully-associative LRU shadow cache of
+the L1's capacity alongside the real cache.  Feed it **every** L1
+access (hits too — the shadow's recency state must see the full
+reference stream) via :meth:`record_access`, and classify misses with
+:meth:`classify_miss` *before* recording them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Set
+
+from ..common.types import MissClass
+from .lru_stack import BoundedLRU
+
+
+@dataclass
+class MissCounts:
+    """Tally of classified misses."""
+
+    cold: int = 0
+    conflict: int = 0
+    capacity: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.cold + self.conflict + self.capacity
+
+    def fraction(self, kind: MissClass) -> float:
+        """Fraction of all misses that are *kind* (0 if no misses)."""
+        if self.total == 0:
+            return 0.0
+        return {
+            MissClass.COLD: self.cold,
+            MissClass.CONFLICT: self.conflict,
+            MissClass.CAPACITY: self.capacity,
+        }[kind] / self.total
+
+    def add(self, kind: MissClass) -> None:
+        if kind == MissClass.COLD:
+            self.cold += 1
+        elif kind == MissClass.CONFLICT:
+            self.conflict += 1
+        else:
+            self.capacity += 1
+
+
+class ThreeCClassifier:
+    """Online 3C classifier for one cache level."""
+
+    def __init__(self, capacity_blocks: int) -> None:
+        self.shadow = BoundedLRU(capacity_blocks)
+        self._seen: Set[int] = set()
+        self.counts = MissCounts()
+
+    def classify_miss(self, block_addr: int) -> MissClass:
+        """Classify a miss on *block_addr* (call before record_access).
+
+        Consults only state from *previous* references, as the
+        definition requires.
+        """
+        if block_addr not in self._seen:
+            kind = MissClass.COLD
+        elif block_addr in self.shadow:
+            kind = MissClass.CONFLICT
+        else:
+            kind = MissClass.CAPACITY
+        self.counts.add(kind)
+        return kind
+
+    def record_access(self, block_addr: int) -> None:
+        """Update shadow state with an access (hit or miss) to *block_addr*."""
+        self._seen.add(block_addr)
+        self.shadow.access(block_addr)
+
+    def reset_stats(self) -> None:
+        """Zero the tallies; shadow/first-touch state is kept (warm-up)."""
+        self.counts = MissCounts()
+
+    def observe(self, block_addr: int, l1_hit: bool) -> MissClass:
+        """Convenience: classify (if a miss) then record; returns the
+        class, or raises on hits — use record_access for hits."""
+        if l1_hit:
+            raise ValueError("observe() is for misses; use record_access for hits")
+        kind = self.classify_miss(block_addr)
+        self.record_access(block_addr)
+        return kind

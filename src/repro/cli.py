@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Usage (installed as ``python -m repro``):
+
+    python -m repro list
+    python -m repro describe
+    python -m repro run swim --prefetcher timekeeping --length 60000
+    python -m repro compare vpr --configs base,victim,victim_tk,pf_tk
+    python -m repro metrics ammp --length 60000
+
+Exit code 0 on success; argument errors exit 2 (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.report import format_table, percent
+from .common.config import paper_machine
+from .common.types import MissClass
+from .sim.sweep import run_workload
+from .traces.workloads import SPEC2000, get_workload
+
+#: Named configurations accepted by ``compare --configs``.
+CONFIG_PRESETS = {
+    "base": {},
+    "perfect": {"perfect_non_cold": True},
+    "victim": {"victim_filter": "unfiltered"},
+    "victim_collins": {"victim_filter": "collins"},
+    "victim_tk": {"victim_filter": "timekeeping"},
+    "victim_adaptive": {"victim_filter": "adaptive"},
+    "pf_tk": {"prefetcher": "timekeeping"},
+    "pf_dbcp": {"prefetcher": "dbcp"},
+    "pf_stride": {"prefetcher": "stride"},
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Timekeeping in the Memory System (ISCA 2002) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the SPEC2000 stand-in workloads")
+    sub.add_parser("describe", help="print the Table-1 machine configuration")
+
+    run = sub.add_parser("run", help="simulate one workload in one configuration")
+    _add_workload_args(run)
+    run.add_argument("--prefetcher", choices=["timekeeping", "dbcp", "stride"])
+    run.add_argument("--victim-filter",
+                     choices=["unfiltered", "collins", "timekeeping", "adaptive"])
+    run.add_argument("--perfect", action="store_true",
+                     help="zero-cost non-cold misses (Figure 1 bound)")
+    run.add_argument("--decay-interval", type=int,
+                     help="enable cache decay with this idle threshold (cycles)")
+
+    compare = sub.add_parser("compare",
+                             help="run one workload under several preset configs")
+    _add_workload_args(compare)
+    compare.add_argument(
+        "--configs", default="base,victim_tk,pf_tk",
+        help=f"comma-separated presets from: {', '.join(CONFIG_PRESETS)}",
+    )
+
+    metrics = sub.add_parser("metrics",
+                             help="print the timekeeping metric summary of a workload")
+    _add_workload_args(metrics)
+    return parser
+
+
+def _add_workload_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("workload", help="SPEC2000 stand-in name (see `list`)")
+    sub.add_argument("--length", type=int, default=60_000,
+                     help="measured accesses (default 60000)")
+    sub.add_argument("--warmup", type=int, default=None,
+                     help="warm-up accesses (default: length/3)")
+    sub.add_argument("--seed", type=int, default=0)
+
+
+def _cmd_list(out) -> int:
+    rows = [
+        [name, spec.category, f"{spec.ipa:g}", spec.description]
+        for name, spec in SPEC2000.items()
+    ]
+    print(format_table(["workload", "category", "instr/access", "models"], rows),
+          file=out)
+    return 0
+
+
+def _cmd_describe(out) -> int:
+    print(paper_machine().describe(), file=out)
+    return 0
+
+
+def _single_config(args) -> dict:
+    config: dict = {"collect_metrics": True}
+    if args.prefetcher:
+        config["prefetcher"] = args.prefetcher
+    if args.victim_filter:
+        config["victim_filter"] = args.victim_filter
+    if args.perfect:
+        config["perfect_non_cold"] = True
+        config.pop("collect_metrics")
+    if args.decay_interval:
+        config["decay_interval"] = args.decay_interval
+    return config
+
+
+def _cmd_run(args, out) -> int:
+    results = run_workload(
+        args.workload, {"run": _single_config(args)},
+        length=args.length, warmup=args.warmup, seed=args.seed,
+    )
+    result = results["run"]
+    print(result.summary(), file=out)
+    if result.decay is not None:
+        d = result.decay
+        print(
+            f"  decay: {percent(d.off_fraction)} line-cycles off, "
+            f"{d.induced_misses} induced misses",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    names = [c.strip() for c in args.configs.split(",") if c.strip()]
+    unknown = [c for c in names if c not in CONFIG_PRESETS]
+    if unknown:
+        print(f"unknown configs: {', '.join(unknown)}", file=sys.stderr)
+        return 1
+    configs = {name: dict(CONFIG_PRESETS[name]) for name in names}
+    configs.setdefault("base", {})
+    results = run_workload(args.workload, configs, length=args.length,
+                           warmup=args.warmup, seed=args.seed)
+    base = results["base"]
+    rows = []
+    for name in names:
+        r = results[name]
+        rows.append([name, f"{r.ipc:.3f}", f"{r.speedup_over(base):+.2%}",
+                     f"{r.l1_miss_rate:.2%}"])
+    print(format_table(["config", "IPC", "vs base", "L1 miss rate"], rows,
+                       title=f"{args.workload} ({args.length} accesses)"), file=out)
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    spec = get_workload(args.workload)
+    results = run_workload(
+        args.workload, {"base": {"collect_metrics": True}},
+        length=args.length, warmup=args.warmup, seed=args.seed,
+    )
+    result = results["base"]
+    m = result.metrics
+    mc = result.miss_counts
+    print(f"{args.workload}: {spec.description}", file=out)
+    print(result.summary(), file=out)
+    rows = [
+        ["live time < 100 cycles", percent(m.fraction_live_below(100))],
+        ["dead time < 100 cycles", percent(m.fraction_dead_below(100))],
+        ["zero-live-time generations", percent(m.zero_live_fraction())],
+        ["access intervals < 1000 cycles",
+         percent(m.access_interval.fraction_below(1000))],
+        ["reload intervals < 16K cycles",
+         percent(m.reload_interval.fraction_below(16_000))],
+        ["conflict miss share", percent(mc.fraction(MissClass.CONFLICT))],
+        ["capacity miss share", percent(mc.fraction(MissClass.CAPACITY))],
+    ]
+    print(format_table(["timekeeping metric", "value"], rows), file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    out = sys.stdout
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "describe":
+        return _cmd_describe(out)
+    try:
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "compare":
+            return _cmd_compare(args, out)
+        if args.command == "metrics":
+            return _cmd_metrics(args, out)
+    except Exception as exc:  # surfaced as a clean CLI error
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover — argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Shared configuration, value types, statistics and RNG helpers."""
+
+from .config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    PrefetchConfig,
+    ProcessorConfig,
+    paper_machine,
+    small_test_machine,
+)
+from .errors import ConfigError, PredictorError, ReproError, SimulationError, TraceError
+from .rng import derive_seed, make_rng
+from .stats import Histogram, Summary, abs_diff_histogram, geometric_mean, ratio_cdf, summarize
+from .types import KB, MB, AccessOutcome, AccessType, MemoryAccess, MissClass, PrefetchTimeliness
+
+__all__ = [
+    "BusConfig",
+    "CacheConfig",
+    "MachineConfig",
+    "PrefetchConfig",
+    "ProcessorConfig",
+    "paper_machine",
+    "small_test_machine",
+    "ConfigError",
+    "PredictorError",
+    "ReproError",
+    "SimulationError",
+    "TraceError",
+    "derive_seed",
+    "make_rng",
+    "Histogram",
+    "Summary",
+    "abs_diff_histogram",
+    "geometric_mean",
+    "ratio_cdf",
+    "summarize",
+    "KB",
+    "MB",
+    "AccessOutcome",
+    "AccessType",
+    "MemoryAccess",
+    "MissClass",
+    "PrefetchTimeliness",
+]

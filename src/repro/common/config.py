@@ -1,0 +1,229 @@
+"""Machine configuration objects (paper Table 1).
+
+:func:`paper_machine` returns the configuration of the simulated machine
+from Table 1 of the paper: a 2 GHz 8-issue core, 32KB direct-mapped L1
+data cache with 32B blocks, 1MB 4-way L2 with 64B blocks and 12-cycle
+latency, 70-cycle memory, and contended L1/L2 and memory buses on which
+demand requests have priority over prefetches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+from .types import KB, MB
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and latency of one cache level.
+
+    Attributes:
+        size_bytes: Total data capacity.
+        associativity: Ways per set (1 = direct mapped).
+        block_size: Line size in bytes; must be a power of two.
+        hit_latency: Cycles to service a hit.
+        name: Label used in reports ("L1D", "L2", ...).
+    """
+
+    size_bytes: int
+    associativity: int
+    block_size: int
+    hit_latency: int = 1
+    name: str = "cache"
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.block_size):
+            raise ConfigError(f"{self.name}: block_size must be a power of two, got {self.block_size}")
+        if self.associativity < 1:
+            raise ConfigError(f"{self.name}: associativity must be >= 1, got {self.associativity}")
+        if self.size_bytes <= 0:
+            raise ConfigError(f"{self.name}: size_bytes must be positive, got {self.size_bytes}")
+        if self.size_bytes % (self.block_size * self.associativity) != 0:
+            raise ConfigError(
+                f"{self.name}: size {self.size_bytes} is not divisible by "
+                f"block_size*associativity = {self.block_size * self.associativity}"
+            )
+        if not _is_power_of_two(self.num_sets):
+            raise ConfigError(f"{self.name}: number of sets must be a power of two, got {self.num_sets}")
+        if self.hit_latency < 0:
+            raise ConfigError(f"{self.name}: hit_latency must be non-negative")
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of block frames in the cache."""
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.num_blocks // self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits of byte offset within a block."""
+        return self.block_size.bit_length() - 1
+
+    @property
+    def index_bits(self) -> int:
+        """Bits of set index."""
+        return self.num_sets.bit_length() - 1
+
+    def block_address(self, address: int) -> int:
+        """Return the block-aligned address (address with offset stripped)."""
+        return address >> self.offset_bits
+
+    def set_index(self, address: int) -> int:
+        """Return the set index for *address*."""
+        return (address >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, address: int) -> int:
+        """Return the tag for *address*."""
+        return address >> (self.offset_bits + self.index_bits)
+
+
+@dataclass(frozen=True)
+class BusConfig:
+    """Occupancy model for a shared bus.
+
+    A transfer of one cache block occupies the bus for
+    ``cycles_per_block`` CPU cycles; demand traffic is given priority
+    over prefetch traffic as in the paper's contention model.
+    """
+
+    width_bytes: int
+    cpu_to_bus_ratio: int
+    name: str = "bus"
+
+    def __post_init__(self) -> None:
+        if self.width_bytes <= 0:
+            raise ConfigError(f"{self.name}: width_bytes must be positive")
+        if self.cpu_to_bus_ratio < 1:
+            raise ConfigError(f"{self.name}: cpu_to_bus_ratio must be >= 1")
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """CPU cycles the bus is busy transferring *num_bytes*."""
+        beats = (num_bytes + self.width_bytes - 1) // self.width_bytes
+        return max(1, beats * self.cpu_to_bus_ratio)
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Parameters of the abstract out-of-order core.
+
+    The timing model (``repro.timing``) charges ``gap`` compute cycles per
+    access (from the trace) plus a stall for each miss.  ``mlp`` (memory
+    level parallelism) divides miss latencies to model overlap in the
+    128-entry instruction window; the paper's 8-issue, 128-RUU core hides
+    a substantial fraction of L2 hit latency but much less of memory
+    latency, which the default value approximates.
+    """
+
+    issue_width: int = 8
+    window_size: int = 128
+    #: Average number of overlapping outstanding misses assumed by the
+    #: analytical IPC model.
+    mlp: float = 1.75
+
+    def __post_init__(self) -> None:
+        if self.issue_width < 1:
+            raise ConfigError("issue_width must be >= 1")
+        if self.window_size < 1:
+            raise ConfigError("window_size must be >= 1")
+        if self.mlp < 1.0:
+            raise ConfigError("mlp must be >= 1.0")
+
+
+@dataclass(frozen=True)
+class PrefetchConfig:
+    """Prefetch-engine limits (paper Table 1)."""
+
+    mshrs: int = 32
+    queue_entries: int = 128
+
+    def __post_init__(self) -> None:
+        if self.mshrs < 1:
+            raise ConfigError("prefetch mshrs must be >= 1")
+        if self.queue_entries < 1:
+            raise ConfigError("prefetch queue_entries must be >= 1")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full simulated-machine configuration (paper Table 1)."""
+
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig(32 * KB, 1, 32, hit_latency=1, name="L1D")
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(1 * MB, 4, 64, hit_latency=12, name="L2")
+    )
+    #: 32-byte-wide L1/L2 bus clocked at CPU speed.
+    l1_l2_bus: BusConfig = field(default_factory=lambda: BusConfig(32, 1, name="L1/L2 bus"))
+    #: 64-byte-wide memory bus at 400MHz against a 2GHz core (ratio 5).
+    memory_bus: BusConfig = field(default_factory=lambda: BusConfig(64, 5, name="L2/Memory bus"))
+    memory_latency: int = 70
+    l1_mshrs: int = 64
+    prefetch: PrefetchConfig = field(default_factory=PrefetchConfig)
+    #: Global-tick granularity for timekeeping counters (cycles per tick).
+    tick_cycles: int = 512
+
+    def __post_init__(self) -> None:
+        if self.memory_latency < 0:
+            raise ConfigError("memory_latency must be non-negative")
+        if self.l1_mshrs < 1:
+            raise ConfigError("l1_mshrs must be >= 1")
+        if self.tick_cycles < 1:
+            raise ConfigError("tick_cycles must be >= 1")
+        if self.l2.block_size < self.l1d.block_size:
+            raise ConfigError("L2 block size must be >= L1 block size")
+
+    def with_l1d(self, **kwargs) -> "MachineConfig":
+        """Return a copy with L1D fields replaced (e.g. associativity=2)."""
+        return replace(self, l1d=replace(self.l1d, **kwargs))
+
+    def describe(self) -> str:
+        """Render the configuration as a Table-1-style text block."""
+        lines = [
+            "Processor Core",
+            f"  Issue width            {self.processor.issue_width} instructions per cycle",
+            f"  Instruction window     {self.processor.window_size} entries",
+            "Memory Hierarchy",
+            f"  L1 Dcache              {self.l1d.size_bytes // KB}KB, {self.l1d.associativity}-way, "
+            f"{self.l1d.block_size}B blocks, {self.l1d.hit_latency}-cycle hits",
+            f"  L1 MSHRs               {self.l1_mshrs}",
+            f"  L2 cache               {self.l2.size_bytes // KB}KB, {self.l2.associativity}-way, "
+            f"{self.l2.block_size}B blocks, {self.l2.hit_latency}-cycle latency",
+            f"  L1/L2 bus              {self.l1_l2_bus.width_bytes}-byte wide, 1:{self.l1_l2_bus.cpu_to_bus_ratio}",
+            f"  L2/Memory bus          {self.memory_bus.width_bytes}-byte wide, 1:{self.memory_bus.cpu_to_bus_ratio}",
+            f"  Memory latency         {self.memory_latency} cycles",
+            "Prefetcher",
+            f"  Prefetch MSHRs         {self.prefetch.mshrs}",
+            f"  Prefetch request queue {self.prefetch.queue_entries} entries",
+            "Timekeeping",
+            f"  Global tick            every {self.tick_cycles} cycles",
+        ]
+        return "\n".join(lines)
+
+
+def paper_machine() -> MachineConfig:
+    """The machine of paper Table 1 (all defaults)."""
+    return MachineConfig()
+
+
+def small_test_machine() -> MachineConfig:
+    """A scaled-down machine for fast unit tests.
+
+    1KB direct-mapped L1 with 32B blocks (32 frames), 8KB 4-way L2.
+    Latencies match the paper so timing assertions carry over.
+    """
+    return MachineConfig(
+        l1d=CacheConfig(1 * KB, 1, 32, hit_latency=1, name="L1D"),
+        l2=CacheConfig(8 * KB, 4, 64, hit_latency=12, name="L2"),
+    )

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is inconsistent or invalid.
+
+    Examples: a cache size that is not a multiple of ``block_size *
+    associativity``, a non-power-of-two block size, or a correlation-table
+    geometry whose index bits exceed the cache index width.
+    """
+
+
+class TraceError(ReproError):
+    """Raised for malformed traces or trace files."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulator is driven incorrectly.
+
+    Examples: feeding accesses with non-monotonic timestamps, or querying
+    results before :meth:`MemorySimulator.run` has completed.
+    """
+
+
+class PredictorError(ReproError):
+    """Raised when a predictor is constructed or used incorrectly."""

@@ -1,0 +1,185 @@
+"""Histogram and distribution utilities.
+
+The paper's characterization figures (4, 5, 7, 9, 15) are histograms of
+time durations with fixed-width bins (x100 or x1000 cycles) and a final
+overflow bin, plus cumulative ratio distributions.  This module provides
+the shared binning machinery, summary statistics, and geometric means
+used throughout the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Histogram:
+    """Fixed-bin-width histogram with an overflow bin (paper-figure style).
+
+    ``bin_width`` cycles per bin, ``num_bins`` regular bins covering
+    ``[0, bin_width * num_bins)``, plus one overflow bin (the paper's
+    ">100" bar).  Matches the x-axes of Figures 4, 5, 7 and 9.
+    """
+
+    bin_width: int
+    num_bins: int
+    counts: List[int] = field(default_factory=list)
+    overflow: int = 0
+    total: int = 0
+    _sum: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bin_width <= 0:
+            raise ValueError("bin_width must be positive")
+        if self.num_bins <= 0:
+            raise ValueError("num_bins must be positive")
+        if not self.counts:
+            self.counts = [0] * self.num_bins
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Record *value* (a duration in cycles)."""
+        if value < 0:
+            raise ValueError(f"histogram values must be non-negative, got {value}")
+        idx = int(value // self.bin_width)
+        if idx >= self.num_bins:
+            self.overflow += weight
+        else:
+            self.counts[idx] += weight
+        self.total += weight
+        self._sum += value * weight
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record every value in *values*."""
+        for value in values:
+            self.add(value)
+
+    def fractions(self) -> List[float]:
+        """Per-bin fractions including the overflow bin (sums to 1)."""
+        if self.total == 0:
+            return [0.0] * (self.num_bins + 1)
+        return [c / self.total for c in self.counts] + [self.overflow / self.total]
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of recorded values strictly below *threshold*.
+
+        *threshold* must be a multiple of ``bin_width`` (bin boundaries
+        are the only exact cut points a binned histogram supports).
+        """
+        if threshold % self.bin_width != 0:
+            raise ValueError(f"threshold {threshold} is not a multiple of bin width {self.bin_width}")
+        upto = min(int(threshold // self.bin_width), self.num_bins)
+        if self.total == 0:
+            return 0.0
+        return sum(self.counts[:upto]) / self.total
+
+    @property
+    def mean(self) -> float:
+        """Mean of the recorded values (exact, not bin-quantized)."""
+        return self._sum / self.total if self.total else 0.0
+
+    def merged(self, other: "Histogram") -> "Histogram":
+        """Return a new histogram combining self and *other* (same shape)."""
+        if (self.bin_width, self.num_bins) != (other.bin_width, other.num_bins):
+            raise ValueError("cannot merge histograms with different geometry")
+        out = Histogram(self.bin_width, self.num_bins)
+        out.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        out.overflow = self.overflow + other.overflow
+        out.total = self.total + other.total
+        out._sum = self._sum + other._sum
+        return out
+
+
+@dataclass
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    minimum: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of *values* (empty input allowed)."""
+    if not values:
+        return Summary(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    ordered = sorted(values)
+    n = len(ordered)
+    return Summary(
+        count=n,
+        mean=sum(ordered) / n,
+        median=ordered[n // 2],
+        p90=ordered[min(n - 1, int(0.9 * n))],
+        minimum=ordered[0],
+        maximum=ordered[-1],
+    )
+
+
+def geometric_mean(values: Sequence[float], *, offset: float = 0.0) -> float:
+    """Geometric mean, the paper's cross-benchmark aggregate.
+
+    Speedup figures often contain values <= 0 (slowdowns expressed as
+    negative percentages); pass ``offset=1.0`` to compute the geomean of
+    ``1 + value`` and get back ``geomean - 1`` (standard practice for
+    averaging relative improvements).
+    """
+    if not values:
+        return 0.0
+    shifted = [v + offset for v in values]
+    if any(v <= 0 for v in shifted):
+        raise ValueError("geometric mean requires positive values; consider a larger offset")
+    log_sum = sum(math.log(v) for v in shifted)
+    return math.exp(log_sum / len(shifted)) - offset
+
+
+def ratio_cdf(ratios: Sequence[float], breakpoints: Sequence[float]) -> List[float]:
+    """Cumulative fraction of *ratios* <= each breakpoint (paper Fig 15 bottom).
+
+    Breakpoints must be increasing; values are compared inclusively.
+    """
+    if list(breakpoints) != sorted(breakpoints):
+        raise ValueError("breakpoints must be sorted ascending")
+    if not ratios:
+        return [0.0] * len(breakpoints)
+    ordered = sorted(ratios)
+    n = len(ordered)
+    out: List[float] = []
+    i = 0
+    for bp in breakpoints:
+        while i < n and ordered[i] <= bp:
+            i += 1
+        out.append(i / n)
+    return out
+
+
+def abs_diff_histogram(
+    pairs: Iterable[tuple],
+    boundaries: Optional[Sequence[int]] = None,
+) -> List[float]:
+    """Fraction of consecutive-pair absolute differences per bucket.
+
+    Used for paper Figure 15 (top): the distribution of
+    ``|current - previous|`` over power-of-two buckets.  *boundaries*
+    are the inclusive upper edges of each bucket; a final unbounded
+    bucket is appended.
+    """
+    if boundaries is None:
+        boundaries = [0, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+    counts = [0] * (len(boundaries) + 1)
+    total = 0
+    for prev, cur in pairs:
+        diff = abs(cur - prev)
+        total += 1
+        for i, edge in enumerate(boundaries):
+            if diff <= edge:
+                counts[i] += 1
+                break
+        else:
+            counts[-1] += 1
+    if total == 0:
+        return [0.0] * len(counts)
+    return [c / total for c in counts]

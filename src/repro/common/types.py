@@ -1,0 +1,97 @@
+"""Fundamental value types shared across the package.
+
+The simulator is trace-driven: a workload is a sequence of
+:class:`MemoryAccess` records, each carrying an address, a read/write
+flag, the program counter of the issuing instruction, and the number of
+*compute cycles* separating it from the previous access.  The compute gap
+is how the (abstracted) out-of-order core communicates instruction-level
+work to the memory hierarchy; the hierarchy adds stall cycles on top.
+
+Miss classification follows Hill's 3C model (cold / conflict / capacity),
+and every L1 access resolves to one of the :class:`AccessOutcome` values.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class AccessType(enum.IntEnum):
+    """Kind of memory reference carried by a trace record."""
+
+    LOAD = 0
+    STORE = 1
+    #: Compiler-inserted software prefetch; treated as a normal load by
+    #: default (the paper treats peak-build software prefetches as plain
+    #: memory references) but can be filtered out of a trace.
+    SW_PREFETCH = 2
+
+
+class MissClass(enum.IntEnum):
+    """Hill's 3C miss taxonomy."""
+
+    COLD = 0
+    CONFLICT = 1
+    CAPACITY = 2
+
+
+class AccessOutcome(enum.IntEnum):
+    """How an L1 access resolved."""
+
+    L1_HIT = 0
+    #: Missed L1 but hit the victim cache (line swapped back into L1).
+    VICTIM_HIT = 1
+    #: Missed L1 but the line was already in flight or present due to a
+    #: prefetch; charged a (possibly partial) L2 latency.
+    PREFETCH_HIT = 2
+    L2_HIT = 3
+    MEMORY = 4
+
+
+class PrefetchTimeliness(enum.IntEnum):
+    """Timeliness taxonomy for issued prefetches (paper Figure 21)."""
+
+    #: Arrived before the resident block was dead — displaced a live block.
+    EARLY = 0
+    #: Dropped from the prefetch queue before issuing to make room.
+    DISCARDED = 1
+    #: Arrived within the dead time and before the next miss.
+    TIMELY = 2
+    #: Issued, but arrived after the next miss to the frame.
+    LATE = 3
+    #: Never issued before the next miss.
+    NOT_STARTED = 4
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference in a trace.
+
+    Attributes:
+        address: Byte address of the reference.
+        pc: Program counter of the issuing instruction.  Only the DBCP
+            baseline consumes PCs; the timekeeping predictor deliberately
+            does not (the paper highlights that extracting a PC trace from
+            an out-of-order core is costly).
+        kind: Load / store / software prefetch.
+        gap: Compute cycles separating this access from the previous one,
+            before any memory stalls are added.  Must be >= 0.
+    """
+
+    address: int
+    pc: int = 0
+    kind: AccessType = AccessType.LOAD
+    gap: int = 1
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise ValueError(f"address must be non-negative, got {self.address}")
+        if self.gap < 0:
+            raise ValueError(f"gap must be non-negative, got {self.gap}")
+
+
+#: Number of bytes in one kilobyte; used by config helpers.
+KB = 1024
+#: Number of bytes in one megabyte.
+MB = 1024 * 1024

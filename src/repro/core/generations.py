@@ -1,0 +1,168 @@
+"""Generational bookkeeping for cache lines (paper Section 3).
+
+A *generation* of a cache frame starts with the miss that fills it and
+ends when the block is evicted.  Within a generation (Figure 3):
+
+- **live time**: fill to last hit (zero if never hit);
+- **dead time**: last access to eviction;
+- **access interval**: time between successive accesses within the live
+  time;
+- **reload interval**: time between the starts of two successive
+  generations *of the same memory block* (equals the block's access
+  interval one level down).
+
+:class:`GenerationTracker` receives fill/hit/evict events from the
+simulator and produces :class:`GenerationRecord` per closed generation,
+plus per-block state needed to correlate a *miss* with the metrics of
+the block's previous generation (Section 4 keys every miss-type
+correlation off the last generation of the line that misses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GenerationRecord:
+    """One closed cache-line generation."""
+
+    block_addr: int
+    start: int
+    live_time: int
+    dead_time: int
+    hit_count: int
+    #: Largest access interval observed within the live time (0 when
+    #: fewer than one hit); used by the decay dead-block evaluation.
+    max_access_interval: int
+    #: Live time of the same block's previous generation, or None — the
+    #: input to the live-time dead-block predictor evaluation.
+    prev_live_time: Optional[int]
+
+    @property
+    def generation_time(self) -> int:
+        """Fill to eviction."""
+        return self.live_time + self.dead_time
+
+
+@dataclass(frozen=True)
+class LastGeneration:
+    """Summary of a block's most recent *closed* generation."""
+
+    start: int
+    live_time: int
+    dead_time: int
+
+
+class GenerationTracker:
+    """Tracks generations across all frames of one cache.
+
+    The caller owns frame state (``repro.cache.block.Frame`` already
+    carries fill/last-access times); this tracker adds what frames
+    cannot know — per-*block* history across generations — and closes
+    the books on evictions.
+
+    Args:
+        on_generation: Optional callback invoked with each closed
+            :class:`GenerationRecord` (metrics collectors hook here).
+        keep_records: When True, all closed records are retained in
+            :attr:`records` (tests, offline analysis).
+    """
+
+    def __init__(
+        self,
+        on_generation: Optional[Callable[[GenerationRecord], None]] = None,
+        *,
+        keep_records: bool = False,
+    ) -> None:
+        self._on_generation = on_generation
+        self._keep = keep_records
+        self.records: List[GenerationRecord] = []
+        #: block_addr -> LastGeneration of the block's previous tenancy.
+        self._last_gen: Dict[int, LastGeneration] = {}
+        #: frame id -> (last access time, max interval so far) for the
+        #: open generation; frame id is any hashable the caller uses.
+        self._open: Dict[int, Tuple[int, int]] = {}
+        self.closed_generations = 0
+
+    # -- event feed ----------------------------------------------------------
+
+    def on_fill(self, frame_id: int, block_addr: int, now: int) -> Optional[int]:
+        """Record a fill; returns the block's reload interval, or None.
+
+        The reload interval is ``now - start of the block's previous
+        generation`` and is only defined from the second generation on.
+        """
+        self._open[frame_id] = (now, 0)
+        last = self._last_gen.get(block_addr)
+        if last is None:
+            return None
+        return now - last.start
+
+    def on_hit(self, frame_id: int, now: int) -> int:
+        """Record a demand hit; returns this access interval."""
+        last_access, max_interval = self._open[frame_id]
+        interval = now - last_access
+        if interval > max_interval:
+            max_interval = interval
+        self._open[frame_id] = (now, max_interval)
+        return interval
+
+    def on_evict(
+        self,
+        frame_id: int,
+        block_addr: int,
+        fill_time: int,
+        live_time: int,
+        now: int,
+        *,
+        hit_count: int = 0,
+    ) -> GenerationRecord:
+        """Close the generation open on *frame_id* and return its record.
+
+        Args:
+            block_addr: The evicted block.
+            fill_time: Cycle its generation began.
+            live_time: Fill-to-last-hit (0 when no hits) — the caller's
+                frame holds this exactly (``Frame.live_time()``).
+            now: Eviction cycle.
+            hit_count: Demand hits the generation received.
+        """
+        _, max_interval = self._open.pop(frame_id, (fill_time, 0))
+        prev = self._last_gen.get(block_addr)
+        record = GenerationRecord(
+            block_addr=block_addr,
+            start=fill_time,
+            live_time=live_time,
+            dead_time=now - (fill_time + live_time),
+            hit_count=hit_count,
+            max_access_interval=max_interval,
+            prev_live_time=prev.live_time if prev is not None else None,
+        )
+        self._last_gen[block_addr] = LastGeneration(
+            start=fill_time, live_time=live_time, dead_time=record.dead_time
+        )
+        self.closed_generations += 1
+        if self._on_generation is not None:
+            self._on_generation(record)
+        if self._keep:
+            self.records.append(record)
+        return record
+
+    # -- miss-time queries (Section 4 correlations) ---------------------------
+
+    def last_generation(self, block_addr: int) -> Optional[LastGeneration]:
+        """The block's most recent closed generation, if any.
+
+        At a miss to ``block_addr``, this is "the last generation of the
+        cache line that suffers the miss": its live time, dead time, and
+        (via ``now - start``) the reload interval the paper's conflict
+        predictors consume.
+        """
+        return self._last_gen.get(block_addr)
+
+    def reload_interval_at(self, block_addr: int, now: int) -> Optional[int]:
+        """Reload interval if the block were refetched at *now*."""
+        last = self._last_gen.get(block_addr)
+        return None if last is None else now - last.start

@@ -1,0 +1,137 @@
+"""Metric collectors for the paper's characterization figures.
+
+:class:`TimekeepingMetrics` accumulates, during one simulation run:
+
+- live-time / dead-time histograms (Figure 4) and access-interval /
+  reload-interval histograms (Figure 5), with the paper's bin widths
+  (x100 cycles; reload intervals x1000);
+- per-miss correlation records — the miss's 3C class together with the
+  timekeeping metrics of the *previous* generation of the missing block
+  (Figures 7, 9 splits and the predictor sweeps of Figures 8, 10, 11);
+- per-generation records for dead-block predictor evaluation
+  (Figures 14, 16);
+- consecutive live-time pairs per block (Figure 15 variability).
+
+The collectors store raw integers; binning to the paper's axes happens
+at read time so one run feeds many figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+from ..common.stats import Histogram
+from ..common.types import MissClass
+from .generations import GenerationRecord
+
+#: Paper figure axes: 100 bins of 100 cycles (+overflow) for live/dead
+#: time and access interval; 100 bins of 1000 cycles for reload interval.
+TIME_BIN = 100
+RELOAD_BIN = 1000
+NUM_BINS = 100
+
+
+@dataclass(frozen=True)
+class MissCorrelation:
+    """A non-cold miss joined with its block's previous generation."""
+
+    miss_class: MissClass
+    reload_interval: int
+    last_dead_time: int
+    last_live_time: int
+
+
+class TimekeepingMetrics:
+    """Accumulates every timekeeping statistic the paper reports."""
+
+    def __init__(self, *, keep_generations: bool = True) -> None:
+        self.live_time = Histogram(TIME_BIN, NUM_BINS)
+        self.dead_time = Histogram(TIME_BIN, NUM_BINS)
+        self.access_interval = Histogram(TIME_BIN, NUM_BINS)
+        self.reload_interval = Histogram(RELOAD_BIN, NUM_BINS)
+        # Split histograms by miss type (Figures 7 and 9).  Keyed by the
+        # *next* miss's class, as the paper correlates the metrics of a
+        # block's last generation with the type of its next miss.
+        self.reload_by_class = {
+            MissClass.CONFLICT: Histogram(RELOAD_BIN, NUM_BINS),
+            MissClass.CAPACITY: Histogram(RELOAD_BIN, NUM_BINS),
+        }
+        self.dead_by_class = {
+            MissClass.CONFLICT: Histogram(TIME_BIN, NUM_BINS),
+            MissClass.CAPACITY: Histogram(TIME_BIN, NUM_BINS),
+        }
+        self.live_by_class = {
+            MissClass.CONFLICT: Histogram(TIME_BIN, NUM_BINS),
+            MissClass.CAPACITY: Histogram(TIME_BIN, NUM_BINS),
+        }
+        #: Raw per-miss correlation records for threshold sweeps.
+        self.miss_correlations: List[MissCorrelation] = []
+        #: (prev_live_time, live_time) per generation that has history.
+        self.live_time_pairs: List[Tuple[int, int]] = []
+        #: Closed generations (live, dead, max_access_interval, prev_live).
+        self._keep_generations = keep_generations
+        self.generations: List[GenerationRecord] = []
+        self.zero_live_generations = 0
+        self.total_generations = 0
+
+    # -- event feed ----------------------------------------------------------
+
+    def on_generation(self, record: GenerationRecord) -> None:
+        """Consume a closed generation (GenerationTracker callback)."""
+        self.total_generations += 1
+        self.live_time.add(record.live_time)
+        self.dead_time.add(record.dead_time)
+        if record.live_time == 0:
+            self.zero_live_generations += 1
+        if record.prev_live_time is not None:
+            self.live_time_pairs.append((record.prev_live_time, record.live_time))
+        if self._keep_generations:
+            self.generations.append(record)
+
+    def on_access_interval(self, interval: int) -> None:
+        """Consume one within-live-time access interval."""
+        self.access_interval.add(interval)
+
+    def on_miss_correlation(
+        self,
+        miss_class: MissClass,
+        reload_interval: int,
+        last_dead_time: int,
+        last_live_time: int,
+    ) -> None:
+        """Consume one non-cold miss with its previous-generation metrics."""
+        self.reload_interval.add(reload_interval)
+        if miss_class in self.reload_by_class:
+            self.reload_by_class[miss_class].add(reload_interval)
+            self.dead_by_class[miss_class].add(last_dead_time)
+            self.live_by_class[miss_class].add(last_live_time)
+        self.miss_correlations.append(
+            MissCorrelation(miss_class, reload_interval, last_dead_time, last_live_time)
+        )
+
+    # -- derived views ---------------------------------------------------------
+
+    def live_time_ratios(self) -> Iterator[float]:
+        """current/previous live-time ratios (Figure 15 bottom).
+
+        Zero live times are mapped to one cycle so the ratio stays
+        finite; the paper's 16-cycle counter resolution makes true zeros
+        indistinguishable from <16 anyway.
+        """
+        for prev, cur in self.live_time_pairs:
+            yield max(cur, 1) / max(prev, 1)
+
+    def zero_live_fraction(self) -> float:
+        """Fraction of generations with zero live time."""
+        if self.total_generations == 0:
+            return 0.0
+        return self.zero_live_generations / self.total_generations
+
+    def fraction_live_below(self, cycles: int) -> float:
+        """Fraction of live times below *cycles* (paper quotes 58% < 100)."""
+        return self.live_time.fraction_below(cycles)
+
+    def fraction_dead_below(self, cycles: int) -> float:
+        """Fraction of dead times below *cycles* (paper quotes 31% < 100)."""
+        return self.dead_time.fraction_below(cycles)

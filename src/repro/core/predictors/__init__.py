@@ -1,0 +1,43 @@
+"""Timekeeping predictors: conflict-miss and dead-block prediction."""
+
+from .base import BinaryPredictor, PredictionStats, ThresholdPredictor
+from .conflict import (
+    FIG8_THRESHOLDS,
+    FIG10_THRESHOLDS,
+    DeadTimeConflictPredictor,
+    ReloadIntervalConflictPredictor,
+    ZeroLiveTimeConflictPredictor,
+    accuracy_coverage_curve,
+    evaluate_dead_time_predictor,
+    evaluate_reload_predictor,
+    evaluate_zero_live_predictor,
+)
+from .deadblock import (
+    FIG14_THRESHOLDS,
+    DeadBlockStats,
+    DecayDeadBlockPredictor,
+    LiveTimeDeadBlockPredictor,
+    decay_curve,
+    livetime_scale_curve,
+)
+
+__all__ = [
+    "BinaryPredictor",
+    "PredictionStats",
+    "ThresholdPredictor",
+    "FIG8_THRESHOLDS",
+    "FIG10_THRESHOLDS",
+    "DeadTimeConflictPredictor",
+    "ReloadIntervalConflictPredictor",
+    "ZeroLiveTimeConflictPredictor",
+    "accuracy_coverage_curve",
+    "evaluate_dead_time_predictor",
+    "evaluate_reload_predictor",
+    "evaluate_zero_live_predictor",
+    "FIG14_THRESHOLDS",
+    "DeadBlockStats",
+    "DecayDeadBlockPredictor",
+    "LiveTimeDeadBlockPredictor",
+    "decay_curve",
+    "livetime_scale_curve",
+]

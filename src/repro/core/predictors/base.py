@@ -1,0 +1,114 @@
+"""Shared predictor-evaluation machinery.
+
+The paper evaluates every predictor on two axes (Figures 8, 10, 11, 14,
+16):
+
+- **accuracy**: of the predictions made, the fraction that were right
+  (``TP / (TP + FP)``);
+- **coverage**: the fraction of actual positives the predictor captured
+  (``TP / (TP + FN)``) — equivalently, for the dead-block predictors,
+  the fraction of cases where a prediction was made at all.
+
+:class:`PredictionStats` tallies outcomes; binary predictors implement
+:class:`BinaryPredictor` so the same evaluation loop drives them all.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+
+@dataclass
+class PredictionStats:
+    """Confusion-style tallies for a binary predictor."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def predictions_made(self) -> int:
+        """Positive predictions issued."""
+        return self.true_positives + self.false_positives
+
+    @property
+    def actual_positives(self) -> int:
+        """Ground-truth positives seen."""
+        return self.true_positives + self.false_negatives
+
+    @property
+    def total(self) -> int:
+        return (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of issued predictions that were correct (1.0 if none)."""
+        made = self.predictions_made
+        return self.true_positives / made if made else 1.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of actual positives captured (0.0 if none existed)."""
+        positives = self.actual_positives
+        return self.true_positives / positives if positives else 0.0
+
+    def record(self, predicted: bool, actual: bool) -> None:
+        """Tally one (prediction, ground truth) pair."""
+        if predicted and actual:
+            self.true_positives += 1
+        elif predicted:
+            self.false_positives += 1
+        elif actual:
+            self.false_negatives += 1
+        else:
+            self.true_negatives += 1
+
+    def merged(self, other: "PredictionStats") -> "PredictionStats":
+        """Combine two tallies."""
+        return PredictionStats(
+            self.true_positives + other.true_positives,
+            self.false_positives + other.false_positives,
+            self.false_negatives + other.false_negatives,
+            self.true_negatives + other.true_negatives,
+        )
+
+
+class BinaryPredictor(abc.ABC):
+    """A predictor that answers yes/no from one observed metric value."""
+
+    @abc.abstractmethod
+    def predict(self, value: int) -> bool:
+        """Predict from the observed metric *value*."""
+
+    def evaluate(self, samples) -> PredictionStats:
+        """Run over (value, actual) pairs and tally the outcomes."""
+        stats = PredictionStats()
+        for value, actual in samples:
+            stats.record(self.predict(value), actual)
+        return stats
+
+
+class ThresholdPredictor(BinaryPredictor):
+    """Predict positive when the metric is strictly below a threshold.
+
+    The shape of all the paper's conflict predictors: small reload
+    interval / dead time / live time => conflict.
+    """
+
+    def __init__(self, threshold: int) -> None:
+        if threshold < 0:
+            raise ValueError(f"threshold must be non-negative, got {threshold}")
+        self.threshold = threshold
+
+    def predict(self, value: int) -> bool:
+        return value < self.threshold
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(threshold={self.threshold})"

@@ -1,0 +1,161 @@
+"""Dead-block predictors (paper Section 5.1).
+
+Two ways to decide that the block in a frame will not be used again
+this generation:
+
+- :class:`DecayDeadBlockPredictor` (Section 5.1.1, Figure 14): declare
+  the block dead once its idle time exceeds a threshold — the cache-
+  decay mechanism.  High accuracy needs thresholds above ~5K cycles, at
+  which point only ~50% of generations ever trigger and the prediction
+  arrives too late to drive a timely prefetch.
+- :class:`LiveTimeDeadBlockPredictor` (Section 5.1.2, Figure 16):
+  predict the new generation's live time to equal the block's previous
+  live time, and declare the block dead at ``scale`` times that value
+  after the fill (the paper picks scale=2 from the ratio CDF of
+  Figure 15: ~80% of live times are below twice the previous one).
+
+Offline evaluation runs over the closed
+:class:`~repro.core.generations.GenerationRecord` stream.  The ground
+truth per generation: a *decay* prediction fires at the first idle
+period >= threshold, and is correct iff that period is the dead time
+(no access interval within the live time was that large).  A
+*live-time* prediction exists only when the block survives past the
+scaled prediction point and has a previous live time; it is correct
+iff the real live time ended by then.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..generations import GenerationRecord
+
+
+@dataclass
+class DeadBlockStats:
+    """Accuracy/coverage tallies with the paper's §5.1 definitions.
+
+    *Coverage* is the fraction of generations for which a prediction was
+    made at all ("the percent of the blocks for which we do make a
+    prediction"); *accuracy* is the fraction of made predictions that
+    were right.
+    """
+
+    total: int = 0
+    made: int = 0
+    correct: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.made if self.made else 1.0
+
+    @property
+    def coverage(self) -> float:
+        return self.made / self.total if self.total else 0.0
+
+    def record(self, outcome: Optional[bool]) -> None:
+        """Tally one generation: None = no prediction, else correctness."""
+        self.total += 1
+        if outcome is not None:
+            self.made += 1
+            if outcome:
+                self.correct += 1
+
+
+class DecayDeadBlockPredictor:
+    """Dead once idle for *threshold* cycles (cache-decay style)."""
+
+    def __init__(self, threshold: int) -> None:
+        if threshold <= 0:
+            raise ValueError(f"decay threshold must be positive, got {threshold}")
+        self.threshold = threshold
+
+    def prediction_for(self, record: GenerationRecord) -> Optional[bool]:
+        """Did a prediction fire for this generation, and was it right?
+
+        Returns None when no idle period ever reached the threshold
+        (no prediction — uncovered), True/False otherwise.
+        """
+        fired_in_live = record.max_access_interval >= self.threshold
+        fired_in_dead = record.dead_time >= self.threshold
+        if not fired_in_live and not fired_in_dead:
+            return None
+        # The first crossing decides: an access interval reaching the
+        # threshold happens before the dead time does.
+        return not fired_in_live
+
+    def evaluate(self, records: Iterable[GenerationRecord]) -> DeadBlockStats:
+        """Tally accuracy/coverage over closed generations."""
+        stats = DeadBlockStats()
+        for record in records:
+            stats.record(self.prediction_for(record))
+        return stats
+
+
+class LiveTimeDeadBlockPredictor:
+    """Dead at ``scale`` x previous live time after the fill."""
+
+    #: The paper's heuristic: twice the previous live time.
+    PAPER_SCALE = 2.0
+
+    def __init__(self, scale: float = PAPER_SCALE) -> None:
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        self.scale = scale
+
+    def predicted_death_offset(self, prev_live_time: int) -> int:
+        """Cycles after the fill at which the block is declared dead.
+
+        A previous live time of zero still yields a minimal wait of one
+        cycle so the prediction point is after the fill itself.
+        """
+        return max(1, int(self.scale * prev_live_time))
+
+    def prediction_for(self, record: GenerationRecord) -> Optional[bool]:
+        """Outcome for one generation: None = uncovered, else correctness.
+
+        Uncovered when the block has no previous live time (first
+        generation) or was evicted before the prediction point.
+        """
+        if record.prev_live_time is None:
+            return None
+        point = self.predicted_death_offset(record.prev_live_time)
+        if record.generation_time < point:
+            return None  # evicted before the prediction could fire
+        return record.live_time <= point
+
+    def evaluate(self, records: Iterable[GenerationRecord]) -> DeadBlockStats:
+        """Tally accuracy/coverage over closed generations."""
+        stats = DeadBlockStats()
+        for record in records:
+            stats.record(self.prediction_for(record))
+        return stats
+
+
+def decay_curve(
+    records: Sequence[GenerationRecord],
+    thresholds: Sequence[int],
+) -> List[Tuple[int, float, float]]:
+    """(threshold, accuracy, coverage) rows for Figure 14."""
+    rows: List[Tuple[int, float, float]] = []
+    for threshold in thresholds:
+        stats = DecayDeadBlockPredictor(threshold).evaluate(records)
+        rows.append((threshold, stats.accuracy, stats.coverage))
+    return rows
+
+
+def livetime_scale_curve(
+    records: Sequence[GenerationRecord],
+    scales: Sequence[float],
+) -> List[Tuple[float, float, float]]:
+    """(scale, accuracy, coverage) rows — the x2 heuristic ablation."""
+    rows: List[Tuple[float, float, float]] = []
+    for scale in scales:
+        stats = LiveTimeDeadBlockPredictor(scale).evaluate(records)
+        rows.append((scale, stats.accuracy, stats.coverage))
+    return rows
+
+
+#: Figure 14's x-axis: idle-time thresholds 40..5120 cycles, doubling.
+FIG14_THRESHOLDS: Tuple[int, ...] = tuple(40 * (1 << i) for i in range(8))

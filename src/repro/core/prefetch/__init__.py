@@ -1,0 +1,23 @@
+"""Prefetching: correlation tables, policies, queue, timeliness accounting."""
+
+from .correlation import CorrelationTable, DBCPTable
+from .dbcp import DBCPPrefetchPolicy
+from .policy import PrefetchPolicy, ScheduledPrefetch
+from .queue import PrefetchQueue
+from .stride import StridePrefetchPolicy
+from .timekeeping import TimekeepingPrefetchPolicy
+from .timeliness import PendingPrefetch, PrefetchBookkeeper, TimelinessCounts
+
+__all__ = [
+    "CorrelationTable",
+    "DBCPTable",
+    "DBCPPrefetchPolicy",
+    "PrefetchPolicy",
+    "ScheduledPrefetch",
+    "PrefetchQueue",
+    "StridePrefetchPolicy",
+    "TimekeepingPrefetchPolicy",
+    "PendingPrefetch",
+    "PrefetchBookkeeper",
+    "TimelinessCounts",
+]

@@ -1,0 +1,83 @@
+"""Reference-prediction-table stride prefetcher (sanity baseline).
+
+Not part of the paper's comparison, but a standard hardware prefetcher
+(Chen & Baer style) included as an extra baseline: a PC-indexed table
+tracks the last address and stride per load; after two confirmations it
+prefetches ``address + stride``.  Useful for validating the harness
+(stride prefetching should do well on pure streams and nothing on
+pointer chases) and for extension studies.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional
+
+from ...cache.block import Frame
+from ...common.config import CacheConfig
+from ...common.errors import ConfigError
+from .policy import PrefetchPolicy, ScheduledPrefetch
+
+
+class _Entry:
+    __slots__ = ("last_address", "stride", "confidence")
+
+    def __init__(self, address: int) -> None:
+        self.last_address = address
+        self.stride = 0
+        self.confidence = 0
+
+
+class StridePrefetchPolicy(PrefetchPolicy):
+    """PC-indexed stride detection with confidence threshold 2."""
+
+    name = "stride"
+    wants_all_accesses = True
+
+    def __init__(self, l1_config: CacheConfig, *, table_entries: int = 256,
+                 degree: int = 1, confidence_threshold: int = 2) -> None:
+        if table_entries < 1:
+            raise ConfigError("stride table needs >= 1 entry")
+        if degree < 1:
+            raise ConfigError("prefetch degree must be >= 1")
+        self.l1 = l1_config
+        self.table_entries = table_entries
+        self.degree = degree
+        self.confidence_threshold = confidence_threshold
+        self._table: "OrderedDict[int, _Entry]" = OrderedDict()
+        self._set_mask = l1_config.num_sets - 1
+        self._offset_bits = l1_config.offset_bits
+
+    def on_miss(self, frame: Frame, frame_key: int, new_block_addr: int,
+                pc: int, now: int) -> Optional[ScheduledPrefetch]:
+        return None  # all work happens per access
+
+    def on_access(self, address: int, pc: int, now: int) -> Optional[ScheduledPrefetch]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_entries:
+                self._table.popitem(last=False)
+            self._table[pc] = _Entry(address)
+            return None
+        self._table.move_to_end(pc)
+        stride = address - entry.last_address
+        if stride == entry.stride and stride != 0:
+            entry.confidence += 1
+        else:
+            entry.stride = stride
+            entry.confidence = 0
+        entry.last_address = address
+        if entry.confidence < self.confidence_threshold or entry.stride == 0:
+            return None
+        target = address + entry.stride * self.degree
+        if target < 0:
+            return None
+        target_block = target >> self._offset_bits
+        if target_block == (address >> self._offset_bits):
+            return None  # same block, nothing to fetch
+        frame_key = (target_block & self._set_mask) * self.l1.associativity
+        return ScheduledPrefetch(frame_key, target_block, now + 1)
+
+    def state_bytes(self) -> int:
+        # PC tag (4B) + last address (4B) + stride (4B) + confidence.
+        return self.table_entries * 13

@@ -1,0 +1,17 @@
+"""Simulation driver: the memory simulator, results, and suite sweeps."""
+
+from .results import PrefetchStats, SimulationResult, VictimStats
+from .simulator import MemorySimulator, make_prefetch_policy, simulate
+from .sweep import run_suite, run_workload, speedups
+
+__all__ = [
+    "PrefetchStats",
+    "SimulationResult",
+    "VictimStats",
+    "MemorySimulator",
+    "make_prefetch_policy",
+    "simulate",
+    "run_suite",
+    "run_workload",
+    "speedups",
+]

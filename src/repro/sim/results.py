@@ -1,0 +1,134 @@
+"""Simulation result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..classify.three_c import MissCounts
+from ..common.types import AccessOutcome
+from ..core.decay import DecayStats
+from ..core.metrics import TimekeepingMetrics
+from ..core.prefetch.timeliness import TimelinessCounts
+from ..timing.processor import TimingResult
+
+
+@dataclass
+class VictimStats:
+    """Victim cache behavior for one run."""
+
+    entries: int = 0
+    probes: int = 0
+    hits: int = 0
+    fills: int = 0
+    rejected: int = 0
+    lru_evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.probes if self.probes else 0.0
+
+    def fill_traffic_per_cycle(self, cycles: int) -> float:
+        """Entries inserted per cycle (Figure 13, bottom)."""
+        return self.fills / cycles if cycles else 0.0
+
+
+@dataclass
+class PrefetchStats:
+    """Prefetch engine behavior for one run."""
+
+    scheduled: int = 0
+    fired: int = 0
+    issued: int = 0
+    arrived: int = 0
+    #: Demand hits on prefetched blocks (useful prefetches).
+    useful: int = 0
+    discarded: int = 0
+    cancelled: int = 0
+    superseded: int = 0
+    mshr_rejections: int = 0
+    #: Predictor coverage: lookup hit rate of the correlation table.
+    predictor_lookups: int = 0
+    predictor_hits: int = 0
+    table_bytes: int = 0
+    timeliness: TimelinessCounts = field(default_factory=TimelinessCounts)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of lookups that produced a prediction (Figure 20)."""
+        if self.predictor_lookups == 0:
+            return 0.0
+        return self.predictor_hits / self.predictor_lookups
+
+    @property
+    def address_accuracy(self) -> float:
+        """Fraction of resolved predictions with the right address."""
+        return self.timeliness.address_accuracy()
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulator run produced."""
+
+    name: str
+    accesses: int
+    l1_hits: int
+    l1_misses: int
+    outcomes: Dict[AccessOutcome, int]
+    timing: TimingResult
+    miss_counts: Optional[MissCounts] = None
+    victim: Optional[VictimStats] = None
+    prefetch: Optional[PrefetchStats] = None
+    metrics: Optional[TimekeepingMetrics] = None
+    l2_hits: int = 0
+    l2_misses: int = 0
+    memory_accesses: int = 0
+    decay: Optional[DecayStats] = None
+    writebacks: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.timing.ipc
+
+    @property
+    def cycles(self) -> int:
+        return self.timing.cycles
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.accesses if self.accesses else 0.0
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Relative IPC improvement over *baseline* (0.11 = +11%)."""
+        return self.timing.speedup_over(baseline.timing)
+
+    def outcome_fraction(self, outcome: AccessOutcome) -> float:
+        """Share of accesses resolving as *outcome*."""
+        if self.accesses == 0:
+            return 0.0
+        return self.outcomes.get(outcome, 0) / self.accesses
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        lines = [
+            f"{self.name}: {self.accesses} accesses, IPC {self.ipc:.3f}, "
+            f"L1 miss rate {self.l1_miss_rate:.2%}",
+        ]
+        if self.miss_counts is not None and self.miss_counts.total:
+            mc = self.miss_counts
+            lines.append(
+                f"  misses: {mc.total} (cold {mc.cold}, conflict {mc.conflict}, "
+                f"capacity {mc.capacity})"
+            )
+        if self.victim is not None:
+            lines.append(
+                f"  victim cache: {self.victim.fills} fills, {self.victim.hits} hits, "
+                f"{self.victim.rejected} rejected"
+            )
+        if self.prefetch is not None:
+            pf = self.prefetch
+            lines.append(
+                f"  prefetch: {pf.issued} issued, {pf.useful} useful, "
+                f"addr accuracy {pf.address_accuracy:.2%}, coverage {pf.coverage:.2%}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Suite runners and parameter sweeps.
+
+The benchmark harness runs the same workload under several machine or
+mechanism configurations (base / victim variants / prefetch variants /
+perfect cache) and compares IPC.  These helpers build each trace once
+and run every configuration over it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..common.config import MachineConfig
+from ..traces.trace import Trace
+from ..traces.workloads import SPEC2000, get_workload
+from .results import SimulationResult
+from .simulator import simulate
+
+#: A configuration is a dict of keyword arguments for :func:`simulate`
+#: (e.g. ``{"victim_filter": "timekeeping"}``).
+SimConfig = Mapping[str, object]
+
+
+def run_workload(
+    name: str,
+    configs: Mapping[str, SimConfig],
+    *,
+    length: int = 100_000,
+    seed: int = 0,
+    machine: Optional[MachineConfig] = None,
+    warmup: Optional[int] = None,
+) -> Dict[str, SimulationResult]:
+    """Run one SPEC2000 stand-in under every named configuration.
+
+    Returns ``{config_name: result}``.  The trace is built once; the
+    workload's instructions-per-access ratio feeds the IPC model.
+    *warmup* defaults to one third of the trace (statistics measure the
+    warm remainder, as in the paper's skip-then-measure methodology).
+    """
+    spec = get_workload(name)
+    if warmup is None:
+        warmup = length // 3
+    trace = spec.build(length=length + warmup, seed=seed)
+    results: Dict[str, SimulationResult] = {}
+    for config_name, config in configs.items():
+        kwargs = dict(config)
+        kwargs.setdefault("ipa", spec.ipa)
+        kwargs.setdefault("warmup", warmup)
+        if machine is not None:
+            kwargs.setdefault("machine", machine)
+        results[config_name] = simulate(trace, **kwargs)  # type: ignore[arg-type]
+    return results
+
+
+def run_suite(
+    configs: Mapping[str, SimConfig],
+    *,
+    workloads: Optional[Sequence[str]] = None,
+    length: int = 100_000,
+    seed: int = 0,
+    machine: Optional[MachineConfig] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    warmup: Optional[int] = None,
+) -> Dict[str, Dict[str, SimulationResult]]:
+    """Run many workloads under many configurations.
+
+    Returns ``{workload: {config_name: result}}`` in workload order.
+    """
+    names = list(workloads) if workloads is not None else list(SPEC2000)
+    out: Dict[str, Dict[str, SimulationResult]] = {}
+    for name in names:
+        if progress is not None:
+            progress(name)
+        out[name] = run_workload(
+            name, configs, length=length, seed=seed, machine=machine, warmup=warmup
+        )
+    return out
+
+
+def speedups(
+    suite_results: Mapping[str, Mapping[str, SimulationResult]],
+    config: str,
+    baseline: str = "base",
+) -> Dict[str, float]:
+    """Per-workload relative IPC improvement of *config* over *baseline*."""
+    out: Dict[str, float] = {}
+    for workload, results in suite_results.items():
+        out[workload] = results[config].speedup_over(results[baseline])
+    return out

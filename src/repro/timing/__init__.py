@@ -1,0 +1,6 @@
+"""Timing substrate: analytical OoO core model and event queue."""
+
+from .events import EventQueue
+from .processor import TimingModel, TimingResult
+
+__all__ = ["EventQueue", "TimingModel", "TimingResult"]

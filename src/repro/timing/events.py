@@ -1,0 +1,46 @@
+"""Minimal future-event queue.
+
+The trace-driven simulator advances time monotonically with each
+access; anything that must happen *at* a future cycle (a prefetch
+timer expiring, an in-flight fill completing) is queued here and
+drained lazily at the top of each access with :meth:`pop_due`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Iterator, List, Tuple
+
+
+class EventQueue:
+    """Priority queue of (cycle, payload) events.
+
+    Ties are broken by insertion order, so same-cycle events fire in the
+    order they were scheduled (determinism matters for reproducibility).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Any]] = []
+        self._counter = itertools.count()
+
+    def schedule(self, when: int, payload: Any) -> None:
+        """Add an event firing at cycle *when*."""
+        heapq.heappush(self._heap, (when, next(self._counter), payload))
+
+    def pop_due(self, now: int) -> Iterator[Tuple[int, Any]]:
+        """Yield (when, payload) for all events with ``when <= now``."""
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            when, _, payload = heapq.heappop(heap)
+            yield when, payload
+
+    def peek_time(self) -> int:
+        """Firing cycle of the earliest event (raises IndexError if empty)."""
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

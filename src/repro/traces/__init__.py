@@ -1,0 +1,26 @@
+"""Trace generation substrate: container, kernels, SPEC2000 stand-ins, I/O."""
+
+from . import kernels, trace_io
+from .trace import Trace, TraceBuilder, TraceRow
+from .workloads import (
+    BEST_PERFORMERS,
+    SPEC2000,
+    WorkloadSpec,
+    build_workload,
+    get_workload,
+    workload_names,
+)
+
+__all__ = [
+    "kernels",
+    "trace_io",
+    "Trace",
+    "TraceBuilder",
+    "TraceRow",
+    "BEST_PERFORMERS",
+    "SPEC2000",
+    "WorkloadSpec",
+    "build_workload",
+    "get_workload",
+    "workload_names",
+]

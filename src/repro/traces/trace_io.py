@@ -1,0 +1,112 @@
+"""Trace persistence.
+
+Two formats:
+
+- **binary** (``.npz``): numpy-compressed columns, compact and fast —
+  the format to use for large traces.
+- **text** (``.trc``): one access per line, ``address pc kind gap`` in
+  hex/decimal, with ``#`` comments — easy to diff and to hand-write in
+  tests, and the shape most published trace formats (e.g. Dinero) take.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from ..common.errors import TraceError
+from .trace import Trace, TraceBuilder
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_FORMAT_VERSION = 1
+
+
+def save_binary(trace: Trace, path: PathLike) -> None:
+    """Write *trace* to *path* as compressed npz."""
+    addresses, pcs, kinds, gaps = trace.to_arrays()
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        name=np.bytes_(trace.name.encode("utf-8")),
+        addresses=addresses,
+        pcs=pcs,
+        kinds=kinds,
+        gaps=gaps,
+    )
+
+
+def load_binary(path: PathLike) -> Trace:
+    """Load a trace previously written by :func:`save_binary`."""
+    try:
+        with np.load(path) as data:
+            version = int(data["version"])
+            if version != _FORMAT_VERSION:
+                raise TraceError(f"unsupported trace format version {version}")
+            return Trace(
+                data["addresses"].tolist(),
+                data["pcs"].tolist(),
+                data["kinds"].tolist(),
+                data["gaps"].tolist(),
+                name=bytes(data["name"]).decode("utf-8"),
+            )
+    except (OSError, KeyError, ValueError) as exc:
+        raise TraceError(f"cannot load trace from {path}: {exc}") from exc
+
+
+def save_text(trace: Trace, path: PathLike) -> None:
+    """Write *trace* as a human-readable ``.trc`` file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# repro trace v{_FORMAT_VERSION}\n")
+        fh.write(f"# name: {trace.name}\n")
+        fh.write("# columns: address(hex) pc(hex) kind gap\n")
+        for addr, pc, kind, gap in trace.rows():
+            fh.write(f"{addr:x} {pc:x} {kind} {gap}\n")
+
+
+def load_text(path: PathLike) -> Trace:
+    """Load a ``.trc`` file written by :func:`save_text` (or by hand)."""
+    name = os.path.splitext(os.path.basename(os.fspath(path)))[0]
+    builder = TraceBuilder(name=name)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                if line.startswith("#"):
+                    if line.startswith("# name:"):
+                        builder.name = line.split(":", 1)[1].strip()
+                    continue
+                parts = line.split()
+                if len(parts) != 4:
+                    raise TraceError(f"{path}:{lineno}: expected 4 fields, got {len(parts)}")
+                try:
+                    builder.add(
+                        int(parts[0], 16),
+                        pc=int(parts[1], 16),
+                        kind=int(parts[2]),
+                        gap=int(parts[3]),
+                    )
+                except ValueError as exc:
+                    raise TraceError(f"{path}:{lineno}: {exc}") from exc
+    except OSError as exc:
+        raise TraceError(f"cannot load trace from {path}: {exc}") from exc
+    return builder.build()
+
+
+def save(trace: Trace, path: PathLike) -> None:
+    """Save by extension: ``.npz`` -> binary, anything else -> text."""
+    if os.fspath(path).endswith(".npz"):
+        save_binary(trace, path)
+    else:
+        save_text(trace, path)
+
+
+def load(path: PathLike) -> Trace:
+    """Load by extension: ``.npz`` -> binary, anything else -> text."""
+    if os.fspath(path).endswith(".npz"):
+        return load_binary(path)
+    return load_text(path)

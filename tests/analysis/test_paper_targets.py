@@ -1,0 +1,48 @@
+"""Sanity checks on the recorded paper numbers."""
+
+from repro.analysis import paper_targets as pt
+from repro.traces.workloads import SPEC2000
+
+
+class TestConsistency:
+    def test_fig22_sets_reference_known_workloads(self):
+        known = set(SPEC2000)
+        assert pt.FIG22_FEW_STALLS <= known
+        assert pt.FIG22_VICTIM_HELPED <= known
+        assert pt.FIG22_PREFETCH_HELPED <= known
+
+    def test_fig1_covers_the_suite(self):
+        assert set(pt.FIG1_POTENTIAL) == set(SPEC2000)
+
+    def test_fig22_improvements_subset_of_suite(self):
+        assert set(pt.FIG22_IMPROVEMENT) <= set(SPEC2000)
+
+    def test_best_performers_match_traces_module(self):
+        from repro.traces.workloads import BEST_PERFORMERS
+        assert tuple(pt.BEST_PERFORMERS) == BEST_PERFORMERS
+
+    def test_headline_numbers_in_range(self):
+        assert 0 < pt.OVERALL_PREFETCH_IPC_GAIN < 1
+        assert 0 < pt.DBCP_PREFETCH_IPC_GAIN < pt.OVERALL_PREFETCH_IPC_GAIN
+        assert 0.5 < pt.VICTIM_TRAFFIC_REDUCTION < 1
+
+    def test_predictor_operating_points(self):
+        assert pt.RELOAD_PREDICTOR_THRESHOLD == 16_000
+        assert pt.DEAD_TIME_PREDICTOR_THRESHOLD == 1_024
+        assert pt.DECAY_PREDICTOR_GOOD_THRESHOLD == 5_120
+
+    def test_fractions_are_fractions(self):
+        for value in (
+            pt.LIVE_TIME_BELOW_100_CYCLES,
+            pt.DEAD_TIME_BELOW_100_CYCLES,
+            pt.ACCESS_INTERVAL_BELOW_1000_CYCLES,
+            pt.ZERO_LIVE_ACCURACY_GEOMEAN,
+            pt.ZERO_LIVE_COVERAGE_GEOMEAN,
+            pt.LIVETIME_PREDICTOR_ACCURACY,
+            pt.LIVETIME_PREDICTOR_COVERAGE,
+            pt.LIVETIME_RATIO_BELOW_2X,
+        ):
+            assert 0.0 < value < 1.0
+
+    def test_ammp_is_paper_headline(self):
+        assert pt.FIG22_IMPROVEMENT["ammp"] == max(pt.FIG22_IMPROVEMENT.values())

@@ -1,0 +1,84 @@
+"""Tests for text rendering helpers."""
+
+import pytest
+
+from repro.analysis.report import (
+    bar_chart,
+    distribution_rows,
+    format_table,
+    percent,
+    stacked_bars,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["long-name", 2]])
+        lines = out.splitlines()
+        assert "name" in lines[0]
+        assert "-" in lines[1]
+        assert "long-name" in out
+        assert "1.500" in out  # floats formatted
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="Table 1")
+        assert out.startswith("Table 1")
+
+
+class TestPercent:
+    def test_formatting(self):
+        assert percent(0.113) == "11.3%"
+        assert percent(0.5, digits=0) == "50%"
+        assert percent(-0.02) == "-2.0%"
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart({"a": 1.0, "b": 0.5}, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_negative_bars(self):
+        out = bar_chart({"a": -0.5, "b": 1.0}, width=10)
+        assert "<" in out.splitlines()[0]
+
+    def test_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_max_value_override(self):
+        out = bar_chart({"a": 1.0}, width=10, max_value=2.0)
+        assert out.count("#") == 5
+
+
+class TestStackedBars:
+    def test_shares_sum(self):
+        out = stacked_bars(
+            {"prog": [1, 1, 2]}, ["cold", "conflict", "capacity"], width=40
+        )
+        assert "cold=25%" in out
+        assert "capacity=50%" in out
+
+    def test_legend(self):
+        out = stacked_bars({"p": [1]}, ["only"])
+        assert "#=only" in out
+
+    def test_too_many_segments(self):
+        with pytest.raises(ValueError):
+            stacked_bars({"p": [1] * 7}, [str(i) for i in range(7)])
+
+    def test_zero_total(self):
+        out = stacked_bars({"p": [0, 0]}, ["a", "b"])
+        assert "a=0%" in out
+
+
+class TestDistributionRows:
+    def test_overflow_always_present(self):
+        out = distribution_rows([0.5, 0.3, 0.2], bin_width=100)
+        assert "overflow" in out
+        assert "20.00%" in out
+
+    def test_tail_collapsed(self):
+        fracs = [0.1] * 10  # 9 bins + overflow
+        out = distribution_rows(fracs, bin_width=100, max_rows=3)
+        assert "...tail..." in out

@@ -1,0 +1,91 @@
+"""Tests for Frame (cache block) timekeeping state."""
+
+from repro.cache.block import Frame
+
+
+def filled_frame(now=100, addr=0x40, tag=2):
+    f = Frame(0, 0)
+    f.reset_generation(addr, tag, now)
+    return f
+
+
+class TestResetGeneration:
+    def test_initial_state(self):
+        f = Frame(3, 1)
+        assert not f.valid
+        assert f.set_index == 3 and f.way == 1
+        assert f.prev_tag == -1
+
+    def test_fill(self):
+        f = filled_frame(now=50)
+        assert f.valid
+        assert f.fill_time == 50
+        assert f.last_access_time == 50
+        assert f.hit_count == 0
+        assert f.live_time() == 0
+
+    def test_prev_tag_chain(self):
+        f = Frame(0, 0)
+        f.reset_generation(0x40, 2, 10)
+        assert f.prev_tag == -1
+        f.reset_generation(0x80, 4, 20)
+        assert f.prev_tag == 2
+        f.reset_generation(0xC0, 6, 30)
+        assert f.prev_tag == 4
+
+    def test_fill_clears_dirty_and_prefetch_state(self):
+        f = filled_frame()
+        f.dirty = True
+        f.reset_generation(0x80, 4, 200, prefetched=True)
+        assert not f.dirty
+        assert f.prefetched
+        assert not f.prefetch_used
+
+
+class TestRecordHit:
+    def test_live_time_tracks_last_hit(self):
+        f = filled_frame(now=100)
+        f.record_hit(110)
+        assert f.live_time() == 10
+        f.record_hit(150)
+        assert f.live_time() == 50
+        assert f.hit_count == 2
+        assert f.last_access_time == 150
+
+    def test_store_sets_dirty(self):
+        f = filled_frame()
+        f.record_hit(110, store=True)
+        assert f.dirty
+
+    def test_dead_time(self):
+        f = filled_frame(now=100)
+        f.record_hit(120)
+        assert f.dead_time(500) == 380
+
+    def test_zero_live_time_without_hits(self):
+        f = filled_frame(now=100)
+        assert f.live_time() == 0
+        assert f.dead_time(400) == 300
+
+    def test_prefetched_first_use_reanchors_generation(self):
+        f = Frame(0, 0)
+        f.reset_generation(0x40, 2, 100, prefetched=True)
+        # Block sits unused for 5000 cycles, then is demand-used.
+        f.record_hit(5100)
+        assert f.prefetch_used
+        assert f.fill_time == 5100  # generation re-anchored at first use
+        assert f.live_time() == 0   # lt register reset
+        f.record_hit(5110)
+        assert f.live_time() == 10
+
+    def test_prefetched_first_use_store(self):
+        f = Frame(0, 0)
+        f.reset_generation(0x40, 2, 100, prefetched=True)
+        f.record_hit(200, store=True)
+        assert f.dirty
+
+    def test_repr(self):
+        f = Frame(1, 0)
+        assert "invalid" in repr(f)
+        f.reset_generation(0x40, 2, 0)
+        assert "0x40" in repr(f)

@@ -1,0 +1,82 @@
+"""Tests for the L2/memory hierarchy path."""
+
+import pytest
+
+from repro.cache.hierarchy import MemoryHierarchy
+from repro.common.config import paper_machine, small_test_machine
+
+
+class TestFetchLatency:
+    def test_l2_miss_goes_to_memory(self):
+        h = MemoryHierarchy(paper_machine())
+        res = h.fetch(0x1000 >> 5, now=0)
+        assert res.from_memory
+        # 12 (L2 lookup) + 5 (memory bus) + 70 (memory) + 1 (L1/L2 bus)
+        assert res.latency == 12 + 5 + 70 + 1
+        assert h.memory_accesses == 1
+
+    def test_l2_hit_after_fill(self):
+        h = MemoryHierarchy(paper_machine())
+        block = 0x1000 >> 5
+        h.fetch(block, now=0)
+        res = h.fetch(block, now=1000)
+        assert not res.from_memory
+        assert res.latency == 12 + 1
+        assert h.l2_demand_hits == 1
+
+    def test_l2_block_covers_two_l1_blocks(self):
+        h = MemoryHierarchy(paper_machine())
+        h.fetch(0, now=0)        # L1 block 0 -> L2 block 0
+        res = h.fetch(1, now=100)  # L1 block 1 shares the 64B L2 block
+        assert not res.from_memory
+
+    def test_completes_at_consistent(self):
+        h = MemoryHierarchy(paper_machine())
+        res = h.fetch(123, now=40)
+        assert res.completes_at == 40 + res.latency
+
+
+class TestPrefetchPath:
+    def test_prefetch_counted_separately(self):
+        h = MemoryHierarchy(paper_machine())
+        h.fetch(5, now=0, prefetch=True)
+        assert h.l2_prefetch_misses == 1
+        assert h.l2_demand_misses == 0
+
+    def test_prefetch_brings_line_into_l2(self):
+        h = MemoryHierarchy(paper_machine())
+        h.fetch(5, now=0, prefetch=True)
+        assert h.l2_contains(5)
+        res = h.fetch(5, now=1000)
+        assert not res.from_memory
+
+
+class TestContention:
+    def test_memory_bus_serializes_misses(self):
+        h = MemoryHierarchy(paper_machine())
+        a = h.fetch(0 << 1, now=0)
+        b = h.fetch(1024 << 1, now=0)
+        assert b.latency > a.latency  # queued behind the first transfer
+
+    def test_l2_eviction_under_capacity(self):
+        m = small_test_machine()  # 8KB L2 = 128 blocks
+        h = MemoryHierarchy(m)
+        shift = m.l2.offset_bits - m.l1d.offset_bits
+        for i in range(300):
+            h.fetch(i << shift, now=i * 1000)
+        # earliest blocks evicted
+        assert not h.l2_contains(0)
+
+    def test_miss_rate(self):
+        h = MemoryHierarchy(paper_machine())
+        assert h.l2_miss_rate() == 0.0
+        h.fetch(7, now=0)
+        h.fetch(7, now=500)
+        assert h.l2_miss_rate() == pytest.approx(0.5)
+
+    def test_reset_stats(self):
+        h = MemoryHierarchy(paper_machine())
+        h.fetch(7, now=0)
+        h.reset_stats()
+        assert h.memory_accesses == 0
+        assert h.l2_contains(7)

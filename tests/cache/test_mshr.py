@@ -1,0 +1,67 @@
+"""Tests for the MSHR file."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+from repro.common.errors import ConfigError
+
+
+class TestAllocate:
+    def test_allocate_and_lookup(self):
+        m = MSHRFile(2)
+        assert m.allocate(10, completes_at=100)
+        assert m.lookup(10) == 100
+        assert m.lookup(11) is None
+
+    def test_merge_same_block(self):
+        m = MSHRFile(1)
+        m.allocate(10, 100)
+        assert m.allocate(10, 200)  # merged, not a new entry
+        assert m.merges == 1
+        assert m.lookup(10) == 100  # earlier completion kept
+
+    def test_merge_keeps_earlier_completion(self):
+        m = MSHRFile(1)
+        m.allocate(10, 200)
+        m.allocate(10, 100)
+        assert m.lookup(10) == 100
+
+    def test_full_rejection(self):
+        m = MSHRFile(1)
+        m.allocate(1, 100)
+        assert not m.allocate(2, 100)
+        assert m.full_rejections == 1
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            MSHRFile(0)
+
+
+class TestExpiry:
+    def test_expire_retires_done_entries(self):
+        m = MSHRFile(4)
+        m.allocate(1, 50)
+        m.allocate(2, 150)
+        m.expire(100)
+        assert m.lookup(1) is None
+        assert m.lookup(2) == 150
+        assert len(m) == 1
+
+    def test_expire_empty_noop(self):
+        m = MSHRFile(4)
+        m.expire(1000)
+        assert len(m) == 0
+
+    def test_release(self):
+        m = MSHRFile(4)
+        m.allocate(1, 50)
+        m.release(1)
+        assert m.lookup(1) is None
+        m.release(1)  # idempotent
+
+    def test_reset_stats_keeps_inflight(self):
+        m = MSHRFile(4)
+        m.allocate(1, 50)
+        m.reset_stats()
+        assert m.allocations == 0
+        assert m.lookup(1) == 50

@@ -1,0 +1,86 @@
+"""Tests for the fully-associative victim cache."""
+
+import pytest
+
+from repro.cache.victim import VictimCache
+from repro.common.errors import ConfigError
+
+
+class TestBasics:
+    def test_insert_and_probe(self):
+        vc = VictimCache(entries=4)
+        vc.insert(10, now=1)
+        assert 10 in vc
+        assert vc.probe(10) is True
+        assert 10 not in vc  # probe hit removes (swap semantics)
+
+    def test_probe_miss(self):
+        vc = VictimCache(4)
+        assert vc.probe(99) is False
+        assert vc.probes == 1 and vc.hits == 0
+
+    def test_lru_eviction_when_full(self):
+        vc = VictimCache(2)
+        vc.insert(1, 1)
+        vc.insert(2, 2)
+        evicted = vc.insert(3, 3)
+        assert evicted == 1
+        assert 1 not in vc and 2 in vc and 3 in vc
+        assert vc.lru_evictions == 1
+
+    def test_reinsert_refreshes_lru(self):
+        vc = VictimCache(2)
+        vc.insert(1, 1)
+        vc.insert(2, 2)
+        vc.insert(1, 3)   # refresh 1
+        evicted = vc.insert(4, 4)
+        assert evicted == 2
+
+    def test_capacity_never_exceeded(self):
+        vc = VictimCache(3)
+        for i in range(10):
+            vc.insert(i, i)
+        assert len(vc) == 3
+
+    def test_reject_counts(self):
+        vc = VictimCache(2)
+        vc.reject()
+        vc.reject()
+        assert vc.rejected == 2
+        assert len(vc) == 0
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigError):
+            VictimCache(0)
+        with pytest.raises(ConfigError):
+            VictimCache(4, hit_latency=-1)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        vc = VictimCache(4)
+        vc.insert(1, 1)
+        vc.probe(1)
+        vc.probe(2)
+        assert vc.hit_rate() == pytest.approx(0.5)
+
+    def test_fill_traffic(self):
+        vc = VictimCache(4)
+        vc.insert(1, 1)
+        vc.insert(2, 2)
+        assert vc.fill_traffic() == 2
+
+    def test_reset_stats_keeps_contents(self):
+        vc = VictimCache(4)
+        vc.insert(1, 1)
+        vc.probe(99)
+        vc.reset_stats()
+        assert vc.fills == 0 and vc.probes == 0
+        assert 1 in vc
+
+    def test_clear_keeps_stats(self):
+        vc = VictimCache(4)
+        vc.insert(1, 1)
+        vc.clear()
+        assert len(vc) == 0
+        assert vc.fills == 1

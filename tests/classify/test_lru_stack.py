@@ -1,0 +1,90 @@
+"""Tests for LRU stack-distance machinery."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.classify.lru_stack import BoundedLRU, LRUStack
+from repro.common.errors import ConfigError
+
+
+class TestLRUStack:
+    def test_first_touch_is_none(self):
+        s = LRUStack()
+        assert s.reference(1) is None
+
+    def test_immediate_rereference_distance_zero(self):
+        s = LRUStack()
+        s.reference(1)
+        assert s.reference(1) == 0
+
+    def test_distance_counts_distinct_blocks(self):
+        s = LRUStack()
+        for b in (1, 2, 3):
+            s.reference(b)
+        assert s.reference(1) == 2
+
+    def test_duplicates_do_not_inflate_distance(self):
+        s = LRUStack()
+        for b in (1, 2, 2, 2, 3):
+            s.reference(b)
+        assert s.reference(1) == 2
+
+    def test_len(self):
+        s = LRUStack()
+        for b in (1, 2, 3, 2):
+            s.reference(b)
+        assert len(s) == 3
+
+    def test_distance_histogram(self):
+        hist = LRUStack().distance_histogram([1, 2, 1, 2, 1])
+        assert hist[None] == 2
+        assert hist[1] == 3
+
+
+class TestBoundedLRU:
+    def test_hit_within_capacity(self):
+        c = BoundedLRU(2)
+        c.access(1)
+        c.access(2)
+        assert c.access(1) is True
+
+    def test_eviction_beyond_capacity(self):
+        c = BoundedLRU(2)
+        c.access(1)
+        c.access(2)
+        c.access(3)
+        assert 1 not in c
+        assert c.access(1) is False
+
+    def test_recency_refresh(self):
+        c = BoundedLRU(2)
+        c.access(1)
+        c.access(2)
+        c.access(1)
+        c.access(3)  # evicts 2, not 1
+        assert 1 in c and 2 not in c
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            BoundedLRU(0)
+
+    def test_len_bounded(self):
+        c = BoundedLRU(3)
+        for i in range(10):
+            c.access(i)
+        assert len(c) == 3
+
+
+@given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200),
+       st.integers(min_value=1, max_value=8))
+def test_bounded_lru_equals_stack_distance(blocks, capacity):
+    """A capacity-C fully-associative LRU hits exactly the references
+    with stack distance < C — the inclusion property the 3C classifier
+    rests on."""
+    stack = LRUStack()
+    lru = BoundedLRU(capacity)
+    for b in blocks:
+        d = stack.reference(b)
+        hit = lru.access(b)
+        expected = d is not None and d < capacity
+        assert hit == expected

@@ -1,0 +1,147 @@
+"""Tests for repro.common.config (paper Table 1)."""
+
+import pytest
+
+from repro.common.config import (
+    BusConfig,
+    CacheConfig,
+    MachineConfig,
+    PrefetchConfig,
+    ProcessorConfig,
+    paper_machine,
+    small_test_machine,
+)
+from repro.common.errors import ConfigError
+from repro.common.types import KB, MB
+
+
+class TestCacheConfig:
+    def test_paper_l1_geometry(self):
+        l1 = paper_machine().l1d
+        assert l1.size_bytes == 32 * KB
+        assert l1.associativity == 1
+        assert l1.block_size == 32
+        assert l1.num_blocks == 1024
+        assert l1.num_sets == 1024
+        assert l1.offset_bits == 5
+        assert l1.index_bits == 10
+
+    def test_paper_l2_geometry(self):
+        l2 = paper_machine().l2
+        assert l2.size_bytes == 1 * MB
+        assert l2.associativity == 4
+        assert l2.block_size == 64
+        assert l2.num_sets == 4096
+        assert l2.hit_latency == 12
+
+    def test_address_decomposition(self):
+        l1 = CacheConfig(32 * KB, 1, 32)
+        addr = 0x12345678
+        block = l1.block_address(addr)
+        assert block == addr >> 5
+        assert l1.set_index(addr) == block & 1023
+        assert l1.tag(addr) == addr >> 15
+
+    def test_tag_index_offset_reassemble(self):
+        l1 = CacheConfig(32 * KB, 4, 32)
+        addr = 0xDEADBEE0
+        rebuilt = (
+            (l1.tag(addr) << (l1.index_bits + l1.offset_bits))
+            | (l1.set_index(addr) << l1.offset_bits)
+            | (addr & (l1.block_size - 1))
+        )
+        assert rebuilt == addr
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4, 8])
+    def test_sets_scale_with_associativity(self, assoc):
+        cfg = CacheConfig(32 * KB, assoc, 32)
+        assert cfg.num_sets * assoc == 1024
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(32 * KB, 1, 48)
+
+    def test_indivisible_size_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(1000, 1, 32)
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(32 * KB, 0, 32)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(32 * KB, 1, 32, hit_latency=-1)
+
+
+class TestBusConfig:
+    def test_transfer_cycles_one_block(self):
+        bus = BusConfig(32, 1)
+        assert bus.transfer_cycles(32) == 1
+
+    def test_transfer_cycles_rounds_up(self):
+        bus = BusConfig(32, 1)
+        assert bus.transfer_cycles(33) == 2
+
+    def test_memory_bus_ratio(self):
+        bus = paper_machine().memory_bus
+        assert bus.width_bytes == 64
+        assert bus.cpu_to_bus_ratio == 5
+        assert bus.transfer_cycles(64) == 5
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigError):
+            BusConfig(0, 1)
+
+
+class TestProcessorConfig:
+    def test_paper_defaults(self):
+        p = ProcessorConfig()
+        assert p.issue_width == 8
+        assert p.window_size == 128
+
+    def test_mlp_bound(self):
+        with pytest.raises(ConfigError):
+            ProcessorConfig(mlp=0.5)
+
+
+class TestMachineConfig:
+    def test_paper_machine_table1(self):
+        m = paper_machine()
+        assert m.memory_latency == 70
+        assert m.l1_mshrs == 64
+        assert m.prefetch.mshrs == 32
+        assert m.prefetch.queue_entries == 128
+        assert m.tick_cycles == 512
+
+    def test_describe_mentions_key_values(self):
+        text = paper_machine().describe()
+        assert "32KB" in text
+        assert "1024KB" in text or "1MB" in text
+        assert "70 cycles" in text
+        assert "128 entries" in text
+
+    def test_with_l1d_override(self):
+        m = paper_machine().with_l1d(associativity=2)
+        assert m.l1d.associativity == 2
+        assert m.l1d.size_bytes == 32 * KB
+        # original untouched (frozen dataclasses)
+        assert paper_machine().l1d.associativity == 1
+
+    def test_l2_block_must_cover_l1_block(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(
+                l1d=CacheConfig(32 * KB, 1, 128),
+                l2=CacheConfig(1 * MB, 4, 64),
+            )
+
+    def test_small_test_machine_is_valid_and_small(self):
+        m = small_test_machine()
+        assert m.l1d.num_blocks == 32
+        assert m.l2.size_bytes == 8 * KB
+
+    def test_prefetch_config_validation(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(mshrs=0)
+        with pytest.raises(ConfigError):
+            PrefetchConfig(queue_entries=0)

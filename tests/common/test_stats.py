@@ -1,0 +1,174 @@
+"""Tests for repro.common.stats (histograms, geomeans, CDFs)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.stats import (
+    Histogram,
+    abs_diff_histogram,
+    geometric_mean,
+    ratio_cdf,
+    summarize,
+)
+
+
+class TestHistogram:
+    def test_binning(self):
+        h = Histogram(100, 10)
+        h.add(0)
+        h.add(99)
+        h.add(100)
+        h.add(999)
+        h.add(1000)  # overflow
+        assert h.counts[0] == 2
+        assert h.counts[1] == 1
+        assert h.counts[9] == 1
+        assert h.overflow == 1
+        assert h.total == 5
+
+    def test_fractions_sum_to_one(self):
+        h = Histogram(100, 10)
+        for v in [5, 50, 500, 5000, 50000]:
+            h.add(v)
+        assert math.isclose(sum(h.fractions()), 1.0)
+
+    def test_fractions_empty(self):
+        h = Histogram(100, 5)
+        assert h.fractions() == [0.0] * 6
+
+    def test_fraction_below(self):
+        h = Histogram(100, 10)
+        for v in [10, 20, 150, 950, 2000]:
+            h.add(v)
+        assert h.fraction_below(100) == pytest.approx(2 / 5)
+        assert h.fraction_below(200) == pytest.approx(3 / 5)
+        assert h.fraction_below(1000) == pytest.approx(4 / 5)
+
+    def test_fraction_below_requires_bin_boundary(self):
+        h = Histogram(100, 10)
+        h.add(1)
+        with pytest.raises(ValueError):
+            h.fraction_below(150)
+
+    def test_mean_is_exact(self):
+        h = Histogram(100, 10)
+        h.add(1)
+        h.add(999)
+        assert h.mean == pytest.approx(500.0)
+
+    def test_negative_value_rejected(self):
+        h = Histogram(100, 10)
+        with pytest.raises(ValueError):
+            h.add(-1)
+
+    def test_merged(self):
+        a = Histogram(100, 10)
+        b = Histogram(100, 10)
+        a.add(5)
+        b.add(5)
+        b.add(1500)
+        merged = a.merged(b)
+        assert merged.counts[0] == 2
+        assert merged.overflow == 1
+        assert merged.total == 3
+        # originals untouched
+        assert a.total == 1
+
+    def test_merge_geometry_mismatch(self):
+        with pytest.raises(ValueError):
+            Histogram(100, 10).merged(Histogram(50, 10))
+
+    def test_extend(self):
+        h = Histogram(10, 5)
+        h.extend([1, 2, 3])
+        assert h.total == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1))
+    def test_total_matches_input_size(self, values):
+        h = Histogram(100, 100)
+        h.extend(values)
+        assert h.total == len(values)
+        assert sum(h.counts) + h.overflow == len(values)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1))
+    def test_fraction_below_monotone(self, values):
+        h = Histogram(100, 100)
+        h.extend(values)
+        fracs = [h.fraction_below(t) for t in (100, 500, 1000, 5000, 10000)]
+        assert fracs == sorted(fracs)
+
+
+class TestGeometricMean:
+    def test_simple(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_offset_for_speedups(self):
+        # geomean of (1.1, 0.9) - 1
+        out = geometric_mean([0.1, -0.1], offset=1.0)
+        assert out == pytest.approx(math.sqrt(1.1 * 0.9) - 1.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0], offset=1.0)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        gm = geometric_mean(values)
+        assert min(values) - 1e-9 <= gm <= max(values) + 1e-9
+
+
+class TestRatioCdf:
+    def test_basic(self):
+        out = ratio_cdf([0.5, 1.0, 2.0, 4.0], [1.0, 2.0, 3.0])
+        assert out == [pytest.approx(0.5), pytest.approx(0.75), pytest.approx(0.75)]
+
+    def test_empty(self):
+        assert ratio_cdf([], [1, 2]) == [0.0, 0.0]
+
+    def test_unsorted_breakpoints_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_cdf([1.0], [2.0, 1.0])
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=100), min_size=1, max_size=50)
+    )
+    def test_monotone_and_bounded(self, ratios):
+        bps = [0.25, 0.5, 1.0, 2.0, 4.0, 200.0]
+        out = ratio_cdf(ratios, bps)
+        assert out == sorted(out)
+        assert out[-1] == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+
+    def test_basic(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == pytest.approx(3.0)
+        assert s.minimum == 1
+        assert s.maximum == 5
+
+
+class TestAbsDiffHistogram:
+    def test_buckets(self):
+        pairs = [(0, 0), (0, 16), (0, 17), (100, 50000)]
+        out = abs_diff_histogram(pairs)
+        assert out[0] == pytest.approx(0.25)   # diff 0
+        assert out[1] == pytest.approx(0.25)   # diff 16
+        assert out[2] == pytest.approx(0.25)   # diff 17 -> <=32
+        assert out[-1] == pytest.approx(0.25)  # overflow
+
+    def test_empty(self):
+        assert sum(abs_diff_histogram([])) == 0.0
+
+    def test_fractions_sum_to_one(self):
+        pairs = [(i, i * 3) for i in range(50)]
+        assert sum(abs_diff_histogram(pairs)) == pytest.approx(1.0)

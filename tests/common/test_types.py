@@ -1,0 +1,55 @@
+"""Tests for repro.common.types."""
+
+import pytest
+
+from repro.common.types import KB, MB, AccessOutcome, AccessType, MemoryAccess, MissClass
+
+
+class TestMemoryAccess:
+    def test_defaults(self):
+        acc = MemoryAccess(0x1000)
+        assert acc.address == 0x1000
+        assert acc.pc == 0
+        assert acc.kind == AccessType.LOAD
+        assert acc.gap == 1
+
+    def test_fields_round_trip(self):
+        acc = MemoryAccess(0x20, pc=0x400, kind=AccessType.STORE, gap=7)
+        assert (acc.address, acc.pc, acc.kind, acc.gap) == (0x20, 0x400, AccessType.STORE, 7)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(-1)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryAccess(0, gap=-1)
+
+    def test_zero_gap_allowed(self):
+        assert MemoryAccess(0, gap=0).gap == 0
+
+    def test_frozen(self):
+        acc = MemoryAccess(0x10)
+        with pytest.raises(AttributeError):
+            acc.address = 5  # type: ignore[misc]
+
+    def test_equality(self):
+        assert MemoryAccess(1, pc=2) == MemoryAccess(1, pc=2)
+        assert MemoryAccess(1) != MemoryAccess(2)
+
+
+class TestEnums:
+    def test_access_types_distinct(self):
+        assert len({AccessType.LOAD, AccessType.STORE, AccessType.SW_PREFETCH}) == 3
+
+    def test_miss_classes(self):
+        assert MissClass.COLD != MissClass.CONFLICT != MissClass.CAPACITY
+
+    def test_outcome_members(self):
+        names = {o.name for o in AccessOutcome}
+        assert {"L1_HIT", "VICTIM_HIT", "PREFETCH_HIT", "L2_HIT", "MEMORY"} == names
+
+
+def test_size_constants():
+    assert KB == 1024
+    assert MB == 1024 * KB

@@ -1,0 +1,88 @@
+"""Tests for the adaptive victim-cache admission filter (§4.2 extension)."""
+
+import pytest
+
+from repro.cache.block import Frame
+from repro.common.errors import ConfigError
+from repro.core.tick import GlobalTicker
+from repro.core.victim import AdaptiveTimekeepingAdmission, make_admission_filter
+from repro.sim.simulator import simulate
+from repro.traces.trace import TraceBuilder
+
+
+def frame(last_access=0):
+    f = Frame(0, 0)
+    f.valid = True
+    f.block_addr = 5
+    f.tag = 5
+    f.last_access_time = last_access
+    return f
+
+
+class TestController:
+    def test_initial_behavior_matches_static(self):
+        filt = AdaptiveTimekeepingAdmission(GlobalTicker(512), window=10_000)
+        assert filt.max_counter == 1
+        assert filt.admit(frame(last_access=1000), 0, now=1100)
+        assert not filt.admit(frame(last_access=0), 0, now=50_000)
+
+    def test_tightens_when_flooded(self):
+        # Every eviction has a tiny dead time: the window sees far more
+        # admissions than victim entries -> the bound tightens.
+        filt = AdaptiveTimekeepingAdmission(
+            GlobalTicker(512), victim_entries=4, window=32
+        )
+        for i in range(32):
+            filt.admit(frame(last_access=i * 1000), 0, now=i * 1000 + 10)
+        assert filt.max_counter == 0
+        assert filt.adjustments >= 1
+
+    def test_relaxes_when_starved(self):
+        # Every dead time is long: nothing admitted -> bound relaxes.
+        filt = AdaptiveTimekeepingAdmission(
+            GlobalTicker(512), victim_entries=16, window=32,
+        )
+        for i in range(64):
+            filt.admit(frame(last_access=0), 0, now=10_000_000 + i)
+        assert filt.max_counter > 1
+
+    def test_bound_stays_within_counter_width(self):
+        filt = AdaptiveTimekeepingAdmission(
+            GlobalTicker(512), victim_entries=16, window=8, counter_bits=2
+        )
+        for i in range(200):
+            filt.admit(frame(last_access=0), 0, now=10_000_000 + i)
+        assert filt.max_counter <= 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AdaptiveTimekeepingAdmission(victim_entries=0)
+        with pytest.raises(ConfigError):
+            AdaptiveTimekeepingAdmission(window=0)
+
+    def test_factory(self):
+        filt = make_admission_filter("adaptive", victim_entries=8)
+        assert isinstance(filt, AdaptiveTimekeepingAdmission)
+        assert filt.victim_entries == 8
+
+
+class TestEndToEnd:
+    def test_adaptive_filter_in_simulator(self):
+        b = TraceBuilder()
+        for _ in range(200):
+            b.add(0, gap=2)
+            b.add(32 * 1024, gap=2)
+        r = simulate(b.build(), victim_filter="adaptive")
+        assert r.victim.hits > 0
+
+    def test_adaptive_tracks_static_on_conflicts(self):
+        from repro.sim.sweep import run_workload
+        res = run_workload(
+            "vpr",
+            {"base": {}, "static": {"victim_filter": "timekeeping"},
+             "adaptive": {"victim_filter": "adaptive"}},
+            length=20_000,
+        )
+        static = res["static"].speedup_over(res["base"])
+        adaptive = res["adaptive"].speedup_over(res["base"])
+        assert adaptive > 0.5 * static  # at least competitive

@@ -1,0 +1,99 @@
+"""Tests for the cache-decay mechanism (extension; paper §5.1.1 substrate)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core.decay import DecayPolicy, DecayStats
+from repro.sim.simulator import simulate
+from repro.traces.trace import TraceBuilder
+
+
+def trace_of(rows, name="t"):
+    b = TraceBuilder(name=name)
+    for addr, gap in rows:
+        b.add(addr, gap=gap)
+    return b.build()
+
+
+class TestDecayPolicy:
+    def test_is_decayed(self):
+        p = DecayPolicy(1000)
+        assert not p.is_decayed(0, 1000)
+        assert p.is_decayed(0, 1001)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ConfigError):
+            DecayPolicy(0)
+
+    def test_decayed_hit_accounting(self):
+        p = DecayPolicy(1000)
+        # Filled at 0, last access 100, re-referenced at 5000: off since
+        # 1100, so 3900 line-cycles saved; generation spans 5000 cycles.
+        p.on_decayed_hit(fill_time=0, last_access_time=100, now=5000)
+        assert p.stats.induced_misses == 1
+        assert p.stats.off_line_cycles == 3900
+        assert p.stats.total_line_cycles == 5000
+
+    def test_generation_end_accounting(self):
+        p = DecayPolicy(1000)
+        p.on_generation_end(live_time=200, dead_time=4000)
+        assert p.stats.off_line_cycles == 3000
+        assert p.stats.clean_decays == 1
+        assert p.stats.total_line_cycles == 4200
+
+    def test_short_dead_time_saves_nothing(self):
+        p = DecayPolicy(1000)
+        p.on_generation_end(live_time=200, dead_time=500)
+        assert p.stats.off_line_cycles == 0
+        assert p.stats.clean_decays == 0
+
+    def test_off_fraction(self):
+        s = DecayStats(off_line_cycles=30, total_line_cycles=100)
+        assert s.off_fraction == pytest.approx(0.3)
+        assert DecayStats().off_fraction == 0.0
+
+    def test_reset(self):
+        p = DecayPolicy(1000)
+        p.on_generation_end(0, 5000)
+        p.reset_stats()
+        assert p.stats.total_line_cycles == 0
+
+
+class TestDecayInSimulator:
+    def test_induced_miss_on_idle_rereference(self):
+        # Block 0 touched, idle 5000 cycles, touched again: with a
+        # 1000-cycle decay interval, the second touch is an induced miss.
+        t = trace_of([(0, 1), (0, 5000), (0, 10)])
+        base = simulate(t)
+        decayed = simulate(t, decay_interval=1000)
+        assert base.l1_misses == 1
+        assert decayed.l1_misses == 2
+        assert decayed.decay.induced_misses == 1
+        assert decayed.ipc <= base.ipc
+
+    def test_no_decay_within_interval(self):
+        t = trace_of([(0, 1), (0, 500), (0, 500)])
+        decayed = simulate(t, decay_interval=1000)
+        assert decayed.decay.induced_misses == 0
+        assert decayed.l1_misses == 1
+
+    def test_clean_decay_is_free(self):
+        # Streaming: lines decay but are never re-referenced; decay
+        # saves leakage with zero induced misses.
+        rows = [(i * 32, 50) for i in range(2048)]
+        decayed = simulate(trace_of(rows * 2), decay_interval=4096)
+        assert decayed.decay.induced_misses == 0
+        assert decayed.decay.off_fraction > 0.5
+
+    def test_tradeoff_smaller_interval_more_savings_more_misses(self):
+        # Re-referenced working set with long idle gaps: shrinking the
+        # interval trades induced misses for leakage savings.
+        rows = ([(i * 32, 10) for i in range(64)] + [(0, 20_000)]) * 20
+        t = trace_of(rows)
+        small = simulate(t, decay_interval=2_000)
+        large = simulate(t, decay_interval=200_000)
+        assert small.decay.off_fraction >= large.decay.off_fraction
+        assert small.decay.induced_misses >= large.decay.induced_misses
+
+    def test_result_has_no_decay_by_default(self):
+        assert simulate(trace_of([(0, 1)])).decay is None

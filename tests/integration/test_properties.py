@@ -1,0 +1,110 @@
+"""Property-based integration tests: invariants over random traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common.config import small_test_machine
+from repro.common.types import AccessOutcome
+from repro.sim.simulator import simulate
+from repro.traces.trace import TraceBuilder
+
+
+@st.composite
+def random_traces(draw):
+    n = draw(st.integers(min_value=1, max_value=300))
+    # Address pool spanning several sets and aliases of the small machine.
+    pool = draw(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                         min_size=1, max_size=40))
+    b = TraceBuilder(name="prop")
+    for _ in range(n):
+        addr = draw(st.sampled_from(pool))
+        gap = draw(st.integers(min_value=0, max_value=30))
+        b.add(addr, gap=gap)
+    return b.build()
+
+
+SIM_SETTINGS = settings(max_examples=25, deadline=None)
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_outcomes_partition_accesses(trace):
+    r = simulate(trace, machine=small_test_machine())
+    assert sum(r.outcomes.values()) == r.accesses == len(trace)
+    assert r.l1_hits + r.l1_misses == r.accesses
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_miss_classes_partition_misses(trace):
+    r = simulate(trace, machine=small_test_machine())
+    assert r.miss_counts.total == r.l1_misses
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_ipc_bounded_by_issue_width(trace):
+    r = simulate(trace, machine=small_test_machine(), ipa=3.0)
+    assert 0.0 <= r.ipc <= 8.0
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_perfect_mode_never_slower(trace):
+    m = small_test_machine()
+    base = simulate(trace, machine=m)
+    perfect = simulate(trace, machine=m, perfect_non_cold=True)
+    assert perfect.ipc >= base.ipc - 1e-9
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_determinism(trace):
+    a = simulate(trace, machine=small_test_machine(), prefetcher="timekeeping")
+    b = simulate(trace, machine=small_test_machine(), prefetcher="timekeeping")
+    assert a.ipc == b.ipc
+    assert a.outcomes == b.outcomes
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_generation_metrics_conserved(trace):
+    r = simulate(trace, machine=small_test_machine(), collect_metrics=True)
+    m = r.metrics
+    # Every closed generation was a miss-fill that later got evicted:
+    # closed generations can never exceed misses.
+    assert m.total_generations <= r.l1_misses
+    # Histogram totals match generation counts.
+    assert m.live_time.total == m.total_generations
+    assert m.dead_time.total == m.total_generations
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_victim_cache_conservation(trace):
+    r = simulate(trace, machine=small_test_machine(), victim_filter="unfiltered")
+    v = r.victim
+    # every probe is a miss; hits cannot exceed probes or fills
+    assert v.probes == r.l1_misses - r.outcomes[AccessOutcome.PREFETCH_HIT]
+    assert v.hits <= v.probes
+    assert v.hits <= v.fills
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_victim_cache_never_much_worse(trace):
+    """The victim cache may cost a little bandwidth but must stay within
+    a few percent of base on arbitrary traces."""
+    m = small_test_machine()
+    base = simulate(trace, machine=m)
+    vic = simulate(trace, machine=m, victim_filter="timekeeping")
+    assert vic.ipc >= base.ipc * 0.9
+
+
+@SIM_SETTINGS
+@given(random_traces())
+def test_prefetch_timeliness_resolutions_bounded(trace):
+    r = simulate(trace, machine=small_test_machine(), prefetcher="timekeeping")
+    pf = r.prefetch
+    assert pf.timeliness.total <= pf.scheduled
+    assert pf.useful <= pf.arrived
+    assert pf.issued >= pf.arrived

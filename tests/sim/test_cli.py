@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import CONFIG_PRESETS, main
+
+
+class TestList:
+    def test_lists_workloads(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "swim" in out
+        assert "mcf" in out
+        assert "category" in out
+
+
+class TestDescribe:
+    def test_prints_table1(self, capsys):
+        assert main(["describe"]) == 0
+        out = capsys.readouterr().out
+        assert "32KB" in out
+        assert "70 cycles" in out
+
+
+class TestRun:
+    def test_plain_run(self, capsys):
+        assert main(["run", "gzip", "--length", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out
+        assert "IPC" in out
+
+    def test_run_with_prefetcher(self, capsys):
+        assert main(["run", "swim", "--length", "3000",
+                     "--prefetcher", "timekeeping"]) == 0
+        assert "prefetch" in capsys.readouterr().out
+
+    def test_run_with_victim_filter(self, capsys):
+        assert main(["run", "vpr", "--length", "3000",
+                     "--victim-filter", "timekeeping"]) == 0
+        assert "victim" in capsys.readouterr().out
+
+    def test_run_with_decay(self, capsys):
+        assert main(["run", "swim", "--length", "3000",
+                     "--decay-interval", "4096"]) == 0
+        assert "decay" in capsys.readouterr().out
+
+    def test_run_perfect(self, capsys):
+        assert main(["run", "gzip", "--length", "3000", "--perfect"]) == 0
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["run", "doom3", "--length", "100"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestCompare:
+    def test_compare_presets(self, capsys):
+        assert main(["compare", "gzip", "--length", "3000",
+                     "--configs", "base,victim_tk"]) == 0
+        out = capsys.readouterr().out
+        assert "victim_tk" in out
+        assert "vs base" in out
+
+    def test_unknown_config_rejected(self, capsys):
+        assert main(["compare", "gzip", "--configs", "warp-drive"]) == 1
+        assert "unknown configs" in capsys.readouterr().err
+
+    def test_all_presets_are_valid_simulate_kwargs(self):
+        from repro.sim.sweep import run_workload
+        for name, config in CONFIG_PRESETS.items():
+            run_workload("gzip", {name: dict(config)}, length=300, warmup=0)
+
+
+class TestMetrics:
+    def test_metrics_summary(self, capsys):
+        assert main(["metrics", "vpr", "--length", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "zero-live-time generations" in out
+        assert "conflict miss share" in out
+
+
+class TestArgparse:
+    def test_missing_command_exits_2(self):
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+
+    def test_seed_changes_nothing_structural(self, capsys):
+        assert main(["run", "gzip", "--length", "2000", "--seed", "5"]) == 0

@@ -1,0 +1,82 @@
+"""Tests for the result containers."""
+
+import pytest
+
+from repro.common.types import AccessOutcome, PrefetchTimeliness
+from repro.core.prefetch.timeliness import TimelinessCounts
+from repro.sim.results import PrefetchStats, SimulationResult, VictimStats
+from repro.timing.processor import TimingResult
+
+
+def timing(ipc=1.0, instructions=1000):
+    cycles = int(instructions / ipc)
+    return TimingResult(
+        instructions=instructions, cycles=cycles, compute_cycles=cycles,
+        stall_cycles=0, stall_breakdown={}, ipc=ipc,
+    )
+
+
+def result(ipc=1.0, **kwargs):
+    defaults = dict(
+        name="t", accesses=100, l1_hits=80, l1_misses=20,
+        outcomes={AccessOutcome.L1_HIT: 80, AccessOutcome.L2_HIT: 20},
+        timing=timing(ipc),
+    )
+    defaults.update(kwargs)
+    return SimulationResult(**defaults)
+
+
+class TestVictimStats:
+    def test_hit_rate(self):
+        v = VictimStats(probes=10, hits=4)
+        assert v.hit_rate == pytest.approx(0.4)
+        assert VictimStats().hit_rate == 0.0
+
+    def test_fill_traffic_per_cycle(self):
+        v = VictimStats(fills=50)
+        assert v.fill_traffic_per_cycle(1000) == pytest.approx(0.05)
+        assert v.fill_traffic_per_cycle(0) == 0.0
+
+
+class TestPrefetchStats:
+    def test_coverage(self):
+        p = PrefetchStats(predictor_lookups=10, predictor_hits=7)
+        assert p.coverage == pytest.approx(0.7)
+        assert PrefetchStats().coverage == 0.0
+
+    def test_address_accuracy_delegates(self):
+        counts = TimelinessCounts()
+        counts.add(True, PrefetchTimeliness.TIMELY)
+        counts.add(False, PrefetchTimeliness.TIMELY)
+        p = PrefetchStats(timeliness=counts)
+        assert p.address_accuracy == pytest.approx(0.5)
+
+
+class TestSimulationResult:
+    def test_basic_properties(self):
+        r = result(ipc=2.0)
+        assert r.ipc == 2.0
+        assert r.l1_miss_rate == pytest.approx(0.2)
+
+    def test_speedup_over(self):
+        fast, slow = result(ipc=2.2), result(ipc=2.0)
+        assert fast.speedup_over(slow) == pytest.approx(0.1)
+
+    def test_outcome_fraction(self):
+        r = result()
+        assert r.outcome_fraction(AccessOutcome.L2_HIT) == pytest.approx(0.2)
+        assert r.outcome_fraction(AccessOutcome.MEMORY) == 0.0
+
+    def test_zero_access_edge(self):
+        r = result(accesses=0, l1_hits=0, l1_misses=0, outcomes={})
+        assert r.l1_miss_rate == 0.0
+        assert r.outcome_fraction(AccessOutcome.L1_HIT) == 0.0
+
+    def test_summary_sections(self):
+        r = result(
+            victim=VictimStats(entries=32, fills=5, hits=2, rejected=1),
+            prefetch=PrefetchStats(issued=9, useful=3),
+        )
+        text = r.summary()
+        assert "victim cache" in text
+        assert "prefetch" in text

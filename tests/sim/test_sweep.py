@@ -1,0 +1,55 @@
+"""Tests for suite runners and sweeps."""
+
+import pytest
+
+from repro.sim.sweep import run_suite, run_workload, speedups
+
+
+CONFIGS = {
+    "base": {},
+    "perfect": {"perfect_non_cold": True},
+}
+
+
+class TestRunWorkload:
+    def test_returns_all_configs(self):
+        res = run_workload("gzip", CONFIGS, length=2000)
+        assert set(res) == {"base", "perfect"}
+        assert res["base"].accesses == 2000
+
+    def test_default_warmup_one_third(self):
+        res = run_workload("gzip", CONFIGS, length=3000)
+        assert res["base"].accesses == 3000  # measured accesses = length
+
+    def test_explicit_warmup(self):
+        res = run_workload("gzip", CONFIGS, length=1000, warmup=500)
+        assert res["base"].accesses == 1000
+
+    def test_ipa_defaults_from_spec(self):
+        res = run_workload("eon", {"base": {}}, length=1000)
+        # eon has ipa 60: instructions = accesses * 60
+        assert res["base"].timing.instructions == 1000 * 60
+
+    def test_config_can_override_ipa(self):
+        res = run_workload("eon", {"base": {"ipa": 1.0}}, length=1000)
+        assert res["base"].timing.instructions == 1000
+
+
+class TestRunSuite:
+    def test_subset_of_workloads(self):
+        out = run_suite(CONFIGS, workloads=["gzip", "eon"], length=1500)
+        assert list(out) == ["gzip", "eon"]
+
+    def test_progress_callback(self):
+        seen = []
+        run_suite({"base": {}}, workloads=["gzip"], length=500, progress=seen.append)
+        assert seen == ["gzip"]
+
+
+class TestSpeedups:
+    def test_speedups_relative_to_baseline(self):
+        # vpr's conflict thrash produces non-cold misses within a short
+        # trace, so the perfect cache shows a gain immediately.
+        out = run_suite(CONFIGS, workloads=["vpr"], length=6000)
+        sp = speedups(out, "perfect", "base")
+        assert sp["vpr"] > 0

@@ -1,0 +1,53 @@
+"""Tests for the future-event queue."""
+
+import pytest
+
+from repro.timing.events import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_due_returns_only_due(self):
+        q = EventQueue()
+        q.schedule(10, "a")
+        q.schedule(20, "b")
+        q.schedule(30, "c")
+        due = list(q.pop_due(20))
+        assert due == [(10, "a"), (20, "b")]
+        assert len(q) == 1
+
+    def test_ordering_by_time(self):
+        q = EventQueue()
+        q.schedule(30, "late")
+        q.schedule(10, "early")
+        assert [p for _, p in q.pop_due(100)] == ["early", "late"]
+
+    def test_fifo_on_ties(self):
+        q = EventQueue()
+        q.schedule(5, "first")
+        q.schedule(5, "second")
+        q.schedule(5, "third")
+        assert [p for _, p in q.pop_due(5)] == ["first", "second", "third"]
+
+    def test_empty_pop(self):
+        q = EventQueue()
+        assert list(q.pop_due(100)) == []
+
+    def test_peek_time(self):
+        q = EventQueue()
+        q.schedule(42, "x")
+        assert q.peek_time() == 42
+        with pytest.raises(IndexError):
+            EventQueue().peek_time()
+
+    def test_bool_and_len(self):
+        q = EventQueue()
+        assert not q
+        q.schedule(1, "x")
+        assert q and len(q) == 1
+
+    def test_interleaved_schedule_and_pop(self):
+        q = EventQueue()
+        q.schedule(10, "a")
+        list(q.pop_due(10))
+        q.schedule(5, "b")  # earlier than previously popped — fine
+        assert [p for _, p in q.pop_due(10)] == ["b"]

@@ -1,0 +1,113 @@
+"""Tests for the analytical timing/IPC model."""
+
+import pytest
+
+from repro.common.config import ProcessorConfig
+from repro.common.errors import SimulationError
+from repro.timing.processor import TimingModel, TimingResult
+
+
+def model(ipa=3.0, mlp=1.75, width=8):
+    return TimingModel(ProcessorConfig(issue_width=width, mlp=mlp), ipa)
+
+
+class TestStallModel:
+    def test_short_latency_fully_hidden(self):
+        m = model()
+        assert m.stall_for(TimingModel.HIDDEN_LATENCY) == 0
+        assert m.stall_for(2) == 0
+
+    def test_exposed_latency_divided_by_mlp(self):
+        m = model(mlp=2.0)
+        assert m.stall_for(TimingModel.HIDDEN_LATENCY + 20) == 10
+
+    def test_add_stall_accumulates_breakdown(self):
+        m = model()
+        m.add_stall(100, "memory")
+        m.add_stall(100, "memory")
+        m.add_stall(20, "l2")
+        result_breakdown = m.result().stall_breakdown
+        assert result_breakdown["memory"] == 2 * m.stall_for(100)
+        assert result_breakdown["l2"] == m.stall_for(20)
+
+    def test_add_fixed_stall_bypasses_mlp(self):
+        m = model()
+        assert m.add_fixed_stall(5, "victim-fill") == 5
+        assert m.stall_cycles == 5
+
+    def test_add_fixed_stall_nonpositive(self):
+        m = model()
+        assert m.add_fixed_stall(0, "x") == 0
+        assert m.stall_cycles == 0
+
+
+class TestIPC:
+    def test_stall_free_ipc(self):
+        m = model(ipa=3.0)
+        for _ in range(100):
+            m.add_access(1)
+        r = m.result()
+        assert r.instructions == 300
+        assert r.ipc == pytest.approx(3.0)
+
+    def test_ipc_capped_at_issue_width(self):
+        m = model(ipa=100.0, width=8)
+        for _ in range(10):
+            m.add_access(1)
+        assert m.result().ipc == 8.0
+
+    def test_stalls_lower_ipc(self):
+        a = model()
+        b = model()
+        for _ in range(100):
+            a.add_access(1)
+            b.add_access(1)
+        b.add_stall(1000, "memory")
+        assert b.result().ipc < a.result().ipc
+
+    def test_monotonicity_more_misses_never_faster(self):
+        results = []
+        for misses in (0, 5, 10, 20):
+            m = model()
+            for _ in range(100):
+                m.add_access(2)
+            for _ in range(misses):
+                m.add_stall(90, "memory")
+            results.append(m.result().ipc)
+        assert results == sorted(results, reverse=True)
+
+    def test_empty_run_well_defined(self):
+        r = model().result()
+        assert r.instructions == 0
+        assert r.cycles >= 1
+        assert r.ipc == 0.0
+
+    def test_speedup_over(self):
+        fast = model()
+        slow = model()
+        for _ in range(100):
+            fast.add_access(1)
+            slow.add_access(1)
+        slow.add_stall(200, "memory")
+        gain = fast.result().speedup_over(slow.result())
+        assert gain > 0
+
+    def test_speedup_over_zero_baseline(self):
+        r = model().result()
+        with pytest.raises(SimulationError):
+            r.speedup_over(r)
+
+    def test_invalid_ipa(self):
+        with pytest.raises(SimulationError):
+            model(ipa=0)
+
+
+class TestAccounting:
+    def test_compute_vs_stall_partition(self):
+        m = model()
+        m.add_access(10)
+        m.add_stall(104, "memory")
+        r = m.result()
+        assert r.compute_cycles == 10
+        assert r.stall_cycles == m.stall_for(104)
+        assert r.cycles == r.compute_cycles + r.stall_cycles

@@ -1,0 +1,182 @@
+"""Tests for the access-pattern kernels."""
+
+import itertools
+
+import pytest
+
+from repro.common.types import AccessType
+from repro.traces import kernels
+from repro.traces.kernels import take
+
+
+def addresses(gen, n):
+    return [row[0] for row in take(gen, n)]
+
+
+class TestSequentialSweep:
+    def test_strided_order(self):
+        addrs = addresses(kernels.sequential_sweep(0, 64, stride=8), 8)
+        assert addrs == [0, 8, 16, 24, 32, 40, 48, 56]
+
+    def test_wraps(self):
+        addrs = addresses(kernels.sequential_sweep(0, 16, stride=8), 5)
+        assert addrs == [0, 8, 0, 8, 0]
+
+    def test_base_offset(self):
+        addrs = addresses(kernels.sequential_sweep(1000, 16, stride=8), 2)
+        assert addrs == [1000, 1008]
+
+    def test_write_every(self):
+        rows = list(take(kernels.sequential_sweep(0, 64, stride=8, write_every=2), 4))
+        kinds = [r[2] for r in rows]
+        assert kinds == [int(AccessType.STORE), int(AccessType.LOAD)] * 2
+
+    def test_invalid_stride(self):
+        with pytest.raises(ValueError):
+            next(kernels.sequential_sweep(0, 64, stride=0))
+
+    def test_gap_propagated(self):
+        rows = list(take(kernels.sequential_sweep(0, 64, stride=8, gap=7), 3))
+        assert all(r[3] == 7 for r in rows)
+
+
+class TestConflictThrash:
+    def test_rotates_over_addresses(self):
+        addrs = [0, 32 * 1024, 64 * 1024]
+        got = addresses(kernels.conflict_thrash(addrs, accesses_per_block=1), 6)
+        assert got == addrs * 2
+
+    def test_accesses_per_block(self):
+        got = addresses(kernels.conflict_thrash([0, 1024], accesses_per_block=2), 4)
+        assert got == [0, 8, 1024, 1032]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            next(kernels.conflict_thrash([]))
+
+
+class TestPointerChase:
+    def test_visits_all_nodes_per_cycle(self):
+        gen = kernels.pointer_chase(0, 10, node_bytes=64, seed=1)
+        first_cycle = addresses(gen, 10)
+        assert len(set(first_cycle)) == 10  # Hamiltonian: all distinct
+
+    def test_cycle_repeats(self):
+        gen = kernels.pointer_chase(0, 8, node_bytes=64, seed=2)
+        rows = addresses(gen, 16)
+        assert rows[:8] == rows[8:]
+
+    def test_deterministic_per_seed(self):
+        a = addresses(kernels.pointer_chase(0, 16, seed=3), 16)
+        b = addresses(kernels.pointer_chase(0, 16, seed=3), 16)
+        c = addresses(kernels.pointer_chase(0, 16, seed=4), 16)
+        assert a == b
+        assert a != c
+
+    def test_too_few_nodes(self):
+        with pytest.raises(ValueError):
+            next(kernels.pointer_chase(0, 1))
+
+
+class TestStreamTriad:
+    def test_interleaving(self):
+        gen = kernels.stream_triad(0, 1000, 2000, 4, element_bytes=8)
+        rows = list(take(gen, 6))
+        assert [r[0] for r in rows] == [0, 1000, 2000, 8, 1008, 2008]
+        assert rows[2][2] == int(AccessType.STORE)  # C is the store stream
+
+    def test_wraps_after_elements(self):
+        gen = kernels.stream_triad(0, 1000, 2000, 2, element_bytes=8)
+        addrs = addresses(gen, 7)
+        assert addrs[6] == addrs[0]
+
+
+class TestStencilSweep:
+    def test_five_point_pattern(self):
+        gen = kernels.stencil_sweep(0, 3, 3, element_bytes=8)
+        rows = list(take(gen, 5))
+        row_bytes = 3 * 8
+        center = row_bytes + 8  # (1,1)
+        assert [r[0] for r in rows] == [
+            center - row_bytes, center - 8, center, center + 8, center + row_bytes
+        ]
+
+    def test_grid_too_small(self):
+        with pytest.raises(ValueError):
+            next(kernels.stencil_sweep(0, 2, 3))
+
+
+class TestRandomAccess:
+    def test_within_region(self):
+        addrs = addresses(kernels.random_access(1000, 256, align=8, seed=5), 100)
+        assert all(1000 <= a < 1256 for a in addrs)
+        assert all((a - 1000) % 8 == 0 for a in addrs)
+
+    def test_deterministic(self):
+        a = addresses(kernels.random_access(0, 1024, seed=6), 20)
+        b = addresses(kernels.random_access(0, 1024, seed=6), 20)
+        assert a == b
+
+
+class TestHotCold:
+    def test_fraction_respected(self):
+        gen = kernels.hot_cold(0, 1024, 10_000_000, 1024, hot_fraction=0.9, seed=7)
+        addrs = addresses(gen, 2000)
+        hot = sum(1 for a in addrs if a < 1024)
+        assert 0.85 < hot / 2000 < 0.95
+
+    def test_sequential_cold_walks_in_order(self):
+        gen = kernels.hot_cold(
+            0, 64, 1_000_000, 4096, hot_fraction=0.0, align=8, seed=8,
+            sequential_cold=True,
+        )
+        addrs = addresses(gen, 10)
+        assert addrs == [1_000_000 + 8 * i for i in range(10)]
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            next(kernels.hot_cold(0, 64, 100, 64, hot_fraction=1.5))
+
+
+class TestInterleave:
+    def test_burst_structure(self):
+        a = kernels.sequential_sweep(0, 8 * 1024, stride=8)
+        b = kernels.sequential_sweep(10**6, 8 * 1024, stride=8)
+        gen = kernels.interleave([a, b], [0.5, 0.5], seed=9, burst=4)
+        rows = addresses(gen, 40)
+        # Bursts of 4 come entirely from one source.
+        for i in range(0, 40, 4):
+            burst = rows[i:i + 4]
+            from_a = [x < 10**6 for x in burst]
+            assert all(from_a) or not any(from_a)
+
+    def test_single_source(self):
+        a = kernels.sequential_sweep(0, 64, stride=8)
+        got = addresses(kernels.interleave([a], [1.0], burst=2), 4)
+        assert got == [0, 8, 16, 24]
+
+    def test_weight_validation(self):
+        a = kernels.sequential_sweep(0, 64, stride=8)
+        with pytest.raises(ValueError):
+            next(kernels.interleave([a], [0.0]))
+        with pytest.raises(ValueError):
+            next(kernels.interleave([a], [0.5, 0.5]))
+        with pytest.raises(ValueError):
+            next(kernels.interleave([], []))
+
+    def test_zero_weight_source_never_picked(self):
+        a = kernels.sequential_sweep(0, 64, stride=8)
+        b = kernels.sequential_sweep(10**6, 64, stride=8)
+        got = addresses(kernels.interleave([a, b], [1.0, 0.0], seed=10), 50)
+        assert all(x < 10**6 for x in got)
+
+
+class TestComputePhase:
+    def test_single_anchor_large_gap(self):
+        rows = list(take(kernels.compute_phase(cycles=500, anchor_address=64), 3))
+        assert all(r[0] == 64 and r[3] == 500 for r in rows)
+
+
+def test_take_limits():
+    gen = kernels.sequential_sweep(0, 1024, stride=8)
+    assert len(list(take(gen, 7))) == 7

@@ -1,0 +1,129 @@
+"""Tests for the Trace container and builder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import TraceError
+from repro.common.types import AccessType, MemoryAccess
+from repro.traces.trace import Trace, TraceBuilder
+
+
+def make_simple(n=5):
+    b = TraceBuilder(name="t")
+    for i in range(n):
+        b.add(i * 32, pc=0x100 + i, kind=AccessType.LOAD, gap=i)
+    return b.build()
+
+
+class TestTraceBuilder:
+    def test_build_roundtrip(self):
+        t = make_simple()
+        assert len(t) == 5
+        assert t.addresses == [0, 32, 64, 96, 128]
+        assert t.gaps == [0, 1, 2, 3, 4]
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().add(-5)
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            TraceBuilder().add(0, gap=-1)
+
+    def test_build_snapshots(self):
+        b = TraceBuilder()
+        b.add(1)
+        t1 = b.build()
+        b.add(2)
+        t2 = b.build()
+        assert len(t1) == 1
+        assert len(t2) == 2
+
+    def test_len(self):
+        b = TraceBuilder()
+        assert len(b) == 0
+        b.add(0)
+        assert len(b) == 1
+
+
+class TestTrace:
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([1, 2], [0], [0, 0], [1, 1])
+
+    def test_iteration_yields_memory_access(self):
+        t = make_simple(3)
+        accs = list(t)
+        assert all(isinstance(a, MemoryAccess) for a in accs)
+        assert accs[1].address == 32
+
+    def test_getitem(self):
+        t = make_simple(3)
+        assert t[2].address == 64
+        assert t[2].pc == 0x102
+
+    def test_rows_fast_path_matches_iteration(self):
+        t = make_simple(4)
+        rows = list(t.rows())
+        assert rows == [(a.address, a.pc, int(a.kind), a.gap) for a in t]
+
+    def test_from_accesses(self):
+        accs = [MemoryAccess(10, gap=2), MemoryAccess(20, kind=AccessType.STORE)]
+        t = Trace.from_accesses(accs, name="x")
+        assert t.name == "x"
+        assert t.kinds == [0, 1]
+
+    def test_total_gap_cycles(self):
+        assert make_simple(5).total_gap_cycles == 0 + 1 + 2 + 3 + 4
+
+    def test_sliced(self):
+        t = make_simple(5)
+        s = t.sliced(1, 3)
+        assert s.addresses == [32, 64]
+
+    def test_concatenated(self):
+        t = make_simple(2)
+        joined = t.concatenated(t)
+        assert len(joined) == 4
+        assert joined.addresses == [0, 32, 0, 32]
+
+    def test_to_arrays(self):
+        addrs, pcs, kinds, gaps = make_simple(3).to_arrays()
+        assert addrs.tolist() == [0, 32, 64]
+        assert gaps.dtype.kind == "i"
+
+    def test_footprint_blocks(self):
+        b = TraceBuilder()
+        for addr in (0, 8, 16, 32, 64):
+            b.add(addr)
+        assert b.build().footprint_blocks(32) == 3
+
+    def test_without_software_prefetches_preserves_time(self):
+        b = TraceBuilder()
+        b.add(0, gap=5)
+        b.add(32, kind=AccessType.SW_PREFETCH, gap=3)
+        b.add(64, gap=2)
+        t = b.build().without_software_prefetches()
+        assert len(t) == 2
+        assert t.gaps == [5, 5]  # dropped record's gap folded forward
+        assert t.total_gap_cycles == 10
+
+    def test_without_software_prefetches_trailing_prefetch(self):
+        b = TraceBuilder()
+        b.add(0, gap=1)
+        b.add(32, kind=AccessType.SW_PREFETCH, gap=9)
+        t = b.build().without_software_prefetches()
+        assert len(t) == 1  # trailing prefetch gap is dropped with it
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=0, max_value=2**30),
+        st.integers(min_value=0, max_value=100),
+    ), min_size=1, max_size=100))
+    def test_roundtrip_property(self, rows):
+        b = TraceBuilder()
+        for addr, gap in rows:
+            b.add(addr, gap=gap)
+        t = b.build()
+        assert len(t) == len(rows)
+        assert t.addresses == [r[0] for r in rows]
+        assert t.total_gap_cycles == sum(r[1] for r in rows)

@@ -1,0 +1,108 @@
+"""Tests for trace persistence (binary npz and text formats)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import TraceError
+from repro.common.types import AccessType
+from repro.traces import trace_io
+from repro.traces.trace import TraceBuilder
+
+
+def sample_trace(name="sample"):
+    b = TraceBuilder(name=name)
+    b.add(0x1000, pc=0x400, kind=AccessType.LOAD, gap=3)
+    b.add(0x2008, pc=0x404, kind=AccessType.STORE, gap=0)
+    b.add(0xFFFF_FFF0, pc=0, kind=AccessType.SW_PREFETCH, gap=100)
+    return b.build()
+
+
+class TestBinary:
+    def test_roundtrip(self, tmp_path):
+        t = sample_trace()
+        path = tmp_path / "t.npz"
+        trace_io.save_binary(t, path)
+        back = trace_io.load_binary(path)
+        assert back.name == t.name
+        assert back.addresses == t.addresses
+        assert back.pcs == t.pcs
+        assert back.kinds == t.kinds
+        assert back.gaps == t.gaps
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            trace_io.load_binary(tmp_path / "nope.npz")
+
+    def test_corrupt_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"not a zip at all")
+        with pytest.raises(TraceError):
+            trace_io.load_binary(path)
+
+
+class TestText:
+    def test_roundtrip(self, tmp_path):
+        t = sample_trace("texty")
+        path = tmp_path / "t.trc"
+        trace_io.save_text(t, path)
+        back = trace_io.load_text(path)
+        assert back.name == "texty"
+        assert back.addresses == t.addresses
+        assert back.kinds == t.kinds
+        assert back.gaps == t.gaps
+
+    def test_hand_written(self, tmp_path):
+        path = tmp_path / "hand.trc"
+        path.write_text("# comment\n1000 400 0 1\n\n2000 0 1 5\n")
+        t = trace_io.load_text(path)
+        assert t.addresses == [0x1000, 0x2000]
+        assert t.kinds == [0, 1]
+        assert t.name == "hand"
+
+    def test_bad_field_count(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("1000 400 0\n")
+        with pytest.raises(TraceError):
+            trace_io.load_text(path)
+
+    def test_bad_number(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("zzzz 0 0 1\n")
+        with pytest.raises(TraceError):
+            trace_io.load_text(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            trace_io.load_text(tmp_path / "nope.trc")
+
+
+class TestDispatch:
+    def test_by_extension(self, tmp_path):
+        t = sample_trace()
+        npz = tmp_path / "a.npz"
+        txt = tmp_path / "a.trc"
+        trace_io.save(t, npz)
+        trace_io.save(t, txt)
+        assert trace_io.load(npz).addresses == t.addresses
+        assert trace_io.load(txt).addresses == t.addresses
+
+
+@settings(max_examples=20, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(st.tuples(
+    st.integers(min_value=0, max_value=2**40),
+    st.integers(min_value=0, max_value=2**30),
+    st.sampled_from([0, 1, 2]),
+    st.integers(min_value=0, max_value=10_000),
+), min_size=1, max_size=50))
+def test_text_roundtrip_property(tmp_path, rows):
+    b = TraceBuilder(name="prop")
+    for addr, pc, kind, gap in rows:
+        b.add(addr, pc=pc, kind=kind, gap=gap)
+    t = b.build()
+    path = tmp_path / "p.trc"
+    trace_io.save(t, path)
+    back = trace_io.load(path)
+    assert back.addresses == t.addresses
+    assert back.pcs == t.pcs
+    assert back.kinds == t.kinds
+    assert back.gaps == t.gaps

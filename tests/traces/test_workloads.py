@@ -1,0 +1,98 @@
+"""Tests for the SPEC2000 stand-in workload registry."""
+
+import pytest
+
+from repro.common.errors import TraceError
+from repro.common.types import KB
+from repro.traces.workloads import (
+    BEST_PERFORMERS,
+    SPEC2000,
+    build_workload,
+    get_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_has_full_suite(self):
+        assert len(SPEC2000) >= 20
+
+    def test_best_performers_registered(self):
+        for name in BEST_PERFORMERS:
+            assert name in SPEC2000
+
+    def test_expected_benchmarks_present(self):
+        for name in ("gcc", "mcf", "swim", "ammp", "vpr", "twolf", "eon"):
+            assert name in SPEC2000
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(TraceError):
+            get_workload("doom3")
+
+    def test_names_order_stable(self):
+        assert workload_names() == list(SPEC2000)
+
+    def test_categories_assigned(self):
+        cats = {spec.category for spec in SPEC2000.values()}
+        assert {"low-stall", "conflict", "capacity"} <= cats
+
+    def test_ipa_positive(self):
+        assert all(spec.ipa > 0 for spec in SPEC2000.values())
+
+
+class TestBuild:
+    def test_length(self):
+        t = build_workload("gzip", length=500)
+        assert len(t) == 500
+        assert t.name == "gzip"
+
+    def test_deterministic(self):
+        a = build_workload("vpr", length=300, seed=1)
+        b = build_workload("vpr", length=300, seed=1)
+        assert a.addresses == b.addresses
+        assert a.gaps == b.gaps
+
+    def test_seed_changes_trace(self):
+        a = build_workload("twolf", length=300, seed=1)
+        b = build_workload("twolf", length=300, seed=2)
+        assert a.addresses != b.addresses
+
+    def test_invalid_length(self):
+        with pytest.raises(TraceError):
+            build_workload("gzip", length=0)
+
+    def test_prefix_stability(self):
+        # A longer build of the same seed starts with the shorter one.
+        short = build_workload("swim", length=100, seed=3)
+        long = build_workload("swim", length=200, seed=3)
+        assert long.addresses[:100] == short.addresses
+
+
+class TestCharacter:
+    """Coarse behavioral checks: footprints match the intent."""
+
+    def test_low_stall_small_footprint(self):
+        t = build_workload("eon", length=5_000)
+        assert t.footprint_blocks(32) * 32 < 64 * KB
+
+    def test_capacity_workload_large_footprint(self):
+        t = build_workload("swim", length=30_000)
+        # swim's triad touches ~192KB, well beyond the 32KB L1.
+        assert t.footprint_blocks(32) * 32 > 64 * KB
+
+    def test_mcf_huge_footprint(self):
+        t = build_workload("mcf", length=30_000)
+        assert t.footprint_blocks(32) * 32 > 500 * KB
+
+    def test_memory_bound_has_small_gaps(self):
+        swim = build_workload("swim", length=2_000)
+        eon = build_workload("eon", length=2_000)
+        assert swim.total_gap_cycles < eon.total_gap_cycles
+
+    def test_conflict_workload_has_32k_aliases(self):
+        t = build_workload("vpr", length=20_000)
+        # conflict kernels revisit addresses exactly 32KB apart
+        sets = {}
+        for a in t.addresses:
+            sets.setdefault((a >> 5) & 1023, set()).add(a >> 15)
+        assert max(len(tags) for tags in sets.values()) >= 2

@@ -1,0 +1,48 @@
+"""Calibration utility: per-workload characteristics vs paper targets.
+
+Run while tuning the SPEC2000 stand-ins:
+
+    python tools/calibrate.py [length] [workload ...]
+
+Prints, per workload: potential IPC gain with non-cold misses removed
+(Figure 1), the miss breakdown (Figure 2), miss rate, zero-live-time
+fraction, and run time.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import MissClass, build_workload, get_workload, simulate, workload_names
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    length = int(args[0]) if args and args[0].isdigit() else 60_000
+    names = [a for a in args if not a.isdigit()] or workload_names()
+    print(f"length={length}")
+    print(
+        f"{'workload':10} {'potential':>9} {'missrate':>8} {'cold':>6} {'conf':>6} "
+        f"{'cap':>6} {'zerolive':>8} {'ipc':>6} {'sec':>5}"
+    )
+    warmup = length // 2
+    for name in names:
+        spec = get_workload(name)
+        trace = spec.build(length=length + warmup)
+        t0 = time.time()
+        base = simulate(trace, ipa=spec.ipa, collect_metrics=True, warmup=warmup)
+        perfect = simulate(trace, ipa=spec.ipa, perfect_non_cold=True, warmup=warmup)
+        dt = time.time() - t0
+        mc = base.miss_counts
+        pot = perfect.speedup_over(base)
+        print(
+            f"{name:10} {pot:9.1%} {base.l1_miss_rate:8.1%} "
+            f"{mc.fraction(MissClass.COLD):6.1%} {mc.fraction(MissClass.CONFLICT):6.1%} "
+            f"{mc.fraction(MissClass.CAPACITY):6.1%} "
+            f"{base.metrics.zero_live_fraction():8.1%} {base.ipc:6.3f} {dt:5.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Calibration utility: mechanism speedups vs paper targets.
+
+    python tools/mechanisms.py [length] [workload ...]
+
+Per workload: IPC speedup of victim-cache variants (Figure 13) and the
+two prefetchers (Figure 19), plus prefetch address accuracy/coverage
+(Figure 20) and victim traffic.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import workload_names
+from repro.sim.sweep import run_workload
+
+CONFIGS = {
+    "base": {},
+    "victim": {"victim_filter": "unfiltered"},
+    "victim_collins": {"victim_filter": "collins"},
+    "victim_tk": {"victim_filter": "timekeeping"},
+    "pf_tk": {"prefetcher": "timekeeping"},
+    "pf_dbcp": {"prefetcher": "dbcp"},
+}
+
+
+def main() -> None:
+    args = sys.argv[1:]
+    length = int(args[0]) if args and args[0].isdigit() else 60_000
+    names = [a for a in args if not a.isdigit()] or workload_names()
+    print(f"length={length}")
+    print(
+        f"{'workload':10} {'vic':>7} {'collins':>7} {'vic_tk':>7} {'tkfill%':>7} "
+        f"{'pf_tk':>7} {'dbcp':>7} {'acc':>6} {'cov':>6} {'sec':>5}"
+    )
+    for name in names:
+        t0 = time.time()
+        res = run_workload(name, CONFIGS, length=length)
+        base = res["base"]
+        def sp(key):
+            return res[key].speedup_over(base)
+        vt = res["victim_tk"].victim
+        vu = res["victim"].victim
+        fill_ratio = vt.fills / vu.fills if vu.fills else 0.0
+        pf = res["pf_tk"].prefetch
+        print(
+            f"{name:10} {sp('victim'):7.1%} {sp('victim_collins'):7.1%} "
+            f"{sp('victim_tk'):7.1%} {fill_ratio:7.1%} {sp('pf_tk'):7.1%} "
+            f"{sp('pf_dbcp'):7.1%} {pf.address_accuracy:6.1%} {pf.coverage:6.1%} "
+            f"{time.time() - t0:5.1f}"
+        )
+
+
+if __name__ == "__main__":
+    main()
