@@ -40,7 +40,18 @@ from .common import (
     paper_machine,
     small_test_machine,
 )
-from .sim import MemorySimulator, SimulationResult, run_suite, run_workload, simulate, speedups
+from .sim import (
+    CellFailure,
+    MemorySimulator,
+    RunStore,
+    SimulationResult,
+    SweepReport,
+    run_suite,
+    run_sweep,
+    run_workload,
+    simulate,
+    speedups,
+)
 from .traces import (
     BEST_PERFORMERS,
     SPEC2000,
@@ -65,9 +76,13 @@ __all__ = [
     "PrefetchTimeliness",
     "paper_machine",
     "small_test_machine",
+    "CellFailure",
     "MemorySimulator",
+    "RunStore",
     "SimulationResult",
+    "SweepReport",
     "run_suite",
+    "run_sweep",
     "run_workload",
     "simulate",
     "speedups",

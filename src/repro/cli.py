@@ -7,8 +7,11 @@ Usage (installed as ``python -m repro``):
     python -m repro run swim --prefetcher timekeeping --length 60000
     python -m repro compare vpr --configs base,victim,victim_tk,pf_tk
     python -m repro metrics ammp --length 60000
+    python -m repro sweep --workloads all --configs base,victim_tk,pf_tk \\
+        --workers 4 --store out.jsonl --resume
 
-Exit code 0 on success; argument errors exit 2 (argparse convention).
+Exit code 0 on success; 1 when a sweep leaves failed cells; argument
+errors exit 2 (argparse convention).
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from typing import List, Optional
 from .analysis.report import format_table, percent
 from .common.config import paper_machine
 from .common.types import MissClass
+from .sim.runner import run_sweep
 from .sim.sweep import run_workload
 from .traces.workloads import SPEC2000, get_workload
 
@@ -68,6 +72,33 @@ def _build_parser() -> argparse.ArgumentParser:
     metrics = sub.add_parser("metrics",
                              help="print the timekeeping metric summary of a workload")
     _add_workload_args(metrics)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="fault-tolerant workload x config sweep with checkpoint/resume")
+    sweep.add_argument("--workloads", default="all",
+                       help="'all' or comma-separated names (see `list`)")
+    sweep.add_argument(
+        "--configs", default="base,victim_tk,pf_tk",
+        help=f"comma-separated presets from: {', '.join(CONFIG_PRESETS)}",
+    )
+    sweep.add_argument("--length", type=int, default=60_000,
+                       help="measured accesses per cell (default 60000)")
+    sweep.add_argument("--warmup", type=int, default=None,
+                       help="warm-up accesses (default: length/3)")
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial in-process)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock budget in seconds")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="retry transiently-failed cells this many times")
+    sweep.add_argument("--store", default=None,
+                       help="JSONL checkpoint file (appended per finished cell)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="replay completed cells from --store, run the rest")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-cell progress on stderr")
     return parser
 
 
@@ -173,6 +204,60 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _cmd_sweep(args, out) -> int:
+    config_names = [c.strip() for c in args.configs.split(",") if c.strip()]
+    unknown = [c for c in config_names if c not in CONFIG_PRESETS]
+    if unknown:
+        print(f"unknown configs: {', '.join(unknown)}", file=sys.stderr)
+        return 1
+    configs = {name: dict(CONFIG_PRESETS[name]) for name in config_names}
+    if args.workloads.strip() == "all":
+        workloads = list(SPEC2000)
+    else:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    progress = None
+    if not args.quiet:
+        def progress(workload: str, config: str) -> None:
+            print(f"running {workload}:{config}", file=sys.stderr)
+    report = run_sweep(
+        configs,
+        workloads=workloads,
+        length=args.length,
+        warmup=args.warmup,
+        seed=args.seed,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        store=args.store,
+        resume=args.resume,
+        progress=progress,
+    )
+    rows = []
+    for workload in workloads:
+        results = report.results.get(workload, {})
+        rows.append(
+            [workload]
+            + [f"{results[c].ipc:.3f}" if c in results else "-" for c in config_names]
+        )
+    print(
+        format_table(
+            ["workload"] + [f"{c} IPC" for c in config_names],
+            rows,
+            title=f"sweep: {len(workloads)} workloads x {len(config_names)} configs "
+                  f"({args.length} accesses)",
+        ),
+        file=out,
+    )
+    print(
+        f"{report.ok_cells} cells ok ({report.replayed} replayed from store), "
+        f"{len(report.failures)} failed",
+        file=out,
+    )
+    for failure in report.failures:
+        print(f"FAILED {failure}", file=out)
+    return 1 if report.failures else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -188,6 +273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_compare(args, out)
         if args.command == "metrics":
             return _cmd_metrics(args, out)
+        if args.command == "sweep":
+            return _cmd_sweep(args, out)
     except Exception as exc:  # surfaced as a clean CLI error
         print(f"error: {exc}", file=sys.stderr)
         return 1

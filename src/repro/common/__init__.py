@@ -6,10 +6,19 @@ from .config import (
     MachineConfig,
     PrefetchConfig,
     ProcessorConfig,
+    config_digest,
     paper_machine,
     small_test_machine,
 )
-from .errors import ConfigError, PredictorError, ReproError, SimulationError, TraceError
+from .errors import (
+    CellTimeoutError,
+    ConfigError,
+    PredictorError,
+    ReproError,
+    SimulationError,
+    StoreError,
+    TraceError,
+)
 from .rng import derive_seed, make_rng
 from .stats import Histogram, Summary, abs_diff_histogram, geometric_mean, ratio_cdf, summarize
 from .types import KB, MB, AccessOutcome, AccessType, MemoryAccess, MissClass, PrefetchTimeliness
@@ -20,12 +29,15 @@ __all__ = [
     "MachineConfig",
     "PrefetchConfig",
     "ProcessorConfig",
+    "config_digest",
     "paper_machine",
     "small_test_machine",
+    "CellTimeoutError",
     "ConfigError",
     "PredictorError",
     "ReproError",
     "SimulationError",
+    "StoreError",
     "TraceError",
     "derive_seed",
     "make_rng",

@@ -9,7 +9,12 @@ demand requests have priority over prefetches.
 
 from __future__ import annotations
 
+import dataclasses
+import enum
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
+from typing import Mapping
 
 from .errors import ConfigError
 from .types import KB, MB
@@ -210,6 +215,45 @@ class MachineConfig:
             f"  Global tick            every {self.tick_cycles} cycles",
         ]
         return "\n".join(lines)
+
+
+def _canonicalize(value: object) -> object:
+    """Reduce *value* to a JSON-able form with a stable ordering.
+
+    Dataclasses become name-tagged dicts, enums become ``[TypeName,
+    member]`` pairs, mappings are key-sorted.  Anything unrecognized
+    falls back to ``repr`` — good enough for digesting, which only needs
+    equality to be meaningful, not reversibility.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "__dataclass__": type(value).__name__,
+            **{
+                f.name: _canonicalize(getattr(value, f.name))
+                for f in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, enum.Enum):
+        return [type(value).__name__, value.name]
+    if isinstance(value, Mapping):
+        return {str(k): _canonicalize(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonicalize(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
+
+
+def config_digest(value: object) -> str:
+    """Short stable hex digest of a configuration-like value.
+
+    Used by the sweep checkpoint store to detect that a resumed run is
+    re-using the same machine/simulate configurations as the run that
+    wrote the store.  Accepts machine configs, ``simulate`` kwarg
+    mappings, or any nesting of dataclasses/enums/primitives.
+    """
+    payload = json.dumps(_canonicalize(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def paper_machine() -> MachineConfig:

@@ -33,5 +33,25 @@ class SimulationError(ReproError):
     """
 
 
+class CellTimeoutError(SimulationError):
+    """Raised (and recorded) when one sweep cell exceeds its wall-clock budget.
+
+    The fault-tolerant runner (:mod:`repro.sim.runner`) terminates the
+    worker process executing the cell and records this error in the
+    cell's :class:`~repro.sim.runner.CellFailure`; the rest of the sweep
+    continues.
+    """
+
+
+class StoreError(ReproError):
+    """Raised for checkpoint-store problems (:mod:`repro.sim.store`).
+
+    Examples: resuming into a store written by an incompatible sweep
+    (different trace length, seed, or configuration digests), a corrupt
+    line in the middle of the JSONL file, or starting a fresh run on a
+    store that already contains one without ``resume=True``.
+    """
+
+
 class PredictorError(ReproError):
     """Raised when a predictor is constructed or used incorrectly."""

@@ -2,15 +2,19 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Mapping, Optional
 
 from ..classify.three_c import MissCounts
-from ..common.types import AccessOutcome
+from ..common.errors import SimulationError
+from ..common.types import AccessOutcome, PrefetchTimeliness
 from ..core.decay import DecayStats
 from ..core.metrics import TimekeepingMetrics
 from ..core.prefetch.timeliness import TimelinessCounts
 from ..timing.processor import TimingResult
+
+#: Serialization schema version written by :meth:`SimulationResult.to_dict`.
+RESULT_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -132,3 +136,110 @@ class SimulationResult:
                 f"addr accuracy {pf.address_accuracy:.2%}, coverage {pf.coverage:.2%}"
             )
         return "\n".join(lines)
+
+    # -- serialization (checkpoint store) ------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize into a JSON-able dict (see :meth:`from_dict`).
+
+        Everything except :attr:`metrics` round-trips: the generational
+        :class:`TimekeepingMetrics` object holds per-generation records
+        and histogram banks that are analysis-session state, not a
+        result summary, so the checkpoint store intentionally drops it
+        (``from_dict`` yields ``metrics=None``).
+        """
+        return {
+            "version": RESULT_SCHEMA_VERSION,
+            "name": self.name,
+            "accesses": self.accesses,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "l2_hits": self.l2_hits,
+            "l2_misses": self.l2_misses,
+            "memory_accesses": self.memory_accesses,
+            "writebacks": self.writebacks,
+            "outcomes": {outcome.name: count for outcome, count in self.outcomes.items()},
+            "timing": {
+                "instructions": self.timing.instructions,
+                "cycles": self.timing.cycles,
+                "compute_cycles": self.timing.compute_cycles,
+                "stall_cycles": self.timing.stall_cycles,
+                "stall_breakdown": dict(self.timing.stall_breakdown),
+                "ipc": self.timing.ipc,
+            },
+            "miss_counts": None if self.miss_counts is None else asdict(self.miss_counts),
+            "victim": None if self.victim is None else asdict(self.victim),
+            "prefetch": None if self.prefetch is None else _prefetch_to_dict(self.prefetch),
+            "decay": None if self.decay is None else asdict(self.decay),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
+        """Rebuild a result serialized by :meth:`to_dict`.
+
+        Raises :class:`SimulationError` for missing fields or an
+        unsupported schema version.  ``metrics`` is always ``None`` on
+        the way back (see :meth:`to_dict`).
+        """
+        try:
+            version = data["version"]
+            if version != RESULT_SCHEMA_VERSION:
+                raise SimulationError(
+                    f"unsupported result schema version {version!r} "
+                    f"(this build reads version {RESULT_SCHEMA_VERSION})"
+                )
+            timing = data["timing"]
+            return cls(
+                name=data["name"],
+                accesses=data["accesses"],
+                l1_hits=data["l1_hits"],
+                l1_misses=data["l1_misses"],
+                outcomes={AccessOutcome[k]: v for k, v in data["outcomes"].items()},
+                timing=TimingResult(
+                    instructions=timing["instructions"],
+                    cycles=timing["cycles"],
+                    compute_cycles=timing["compute_cycles"],
+                    stall_cycles=timing["stall_cycles"],
+                    stall_breakdown=dict(timing["stall_breakdown"]),
+                    ipc=timing["ipc"],
+                ),
+                miss_counts=_optional(MissCounts, data.get("miss_counts")),
+                victim=_optional(VictimStats, data.get("victim")),
+                prefetch=_prefetch_from_dict(data.get("prefetch")),
+                metrics=None,
+                l2_hits=data.get("l2_hits", 0),
+                l2_misses=data.get("l2_misses", 0),
+                memory_accesses=data.get("memory_accesses", 0),
+                decay=_optional(DecayStats, data.get("decay")),
+                writebacks=data.get("writebacks", 0),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(f"malformed serialized result: {exc!r}") from exc
+
+
+def _optional(cls, data):
+    """Instantiate dataclass *cls* from a field dict, passing None through."""
+    return None if data is None else cls(**data)
+
+
+def _prefetch_to_dict(prefetch: PrefetchStats) -> Dict[str, Any]:
+    out = asdict(prefetch)
+    out["timeliness"] = {
+        "correct": {t.name: n for t, n in prefetch.timeliness.correct.items()},
+        "wrong": {t.name: n for t, n in prefetch.timeliness.wrong.items()},
+    }
+    return out
+
+
+def _prefetch_from_dict(data: Optional[Mapping[str, Any]]) -> Optional[PrefetchStats]:
+    if data is None:
+        return None
+    fields = dict(data)
+    timeliness = fields.pop("timeliness")
+    return PrefetchStats(
+        **fields,
+        timeliness=TimelinessCounts(
+            correct={PrefetchTimeliness[k]: v for k, v in timeliness["correct"].items()},
+            wrong={PrefetchTimeliness[k]: v for k, v in timeliness["wrong"].items()},
+        ),
+    )

@@ -1,0 +1,676 @@
+"""Fault-tolerant experiment runner for workload×config sweeps.
+
+Every headline figure of the paper is produced by the same campaign
+shape — N workloads × M machine configurations, compared on IPC — and a
+campaign of long-running cells needs properties a serial in-process loop
+does not have:
+
+- **isolation**: one cell raising, hanging, or crashing its process must
+  not discard the other cells' completed work;
+- **parallelism**: independent cells run concurrently on a process pool;
+- **timeouts**: a pathological configuration is killed after a wall-clock
+  budget and recorded, instead of wedging the campaign;
+- **retries**: transient failures (a crashed worker, an injected flake)
+  are retried with exponential backoff + jitter;
+- **resumability**: completed cells checkpoint to an append-only JSONL
+  store (:mod:`repro.sim.store`) and a re-run replays them from disk.
+
+:func:`run_sweep` is the entry point; it returns a :class:`SweepReport`
+whose ``results`` mapping matches :func:`repro.sim.sweep.run_suite` and
+whose ``failures`` list records every cell that did not produce a result.
+
+Execution engines
+-----------------
+
+Three engines share the same scheduling/bookkeeping loop:
+
+- ``workers == 1`` and no timeout: serial **in-process** execution (the
+  fast, debuggable fallback — exceptions are still caught per-cell);
+- ``workers > 1`` and no timeout: a :class:`concurrent.futures.
+  ProcessPoolExecutor` with ``workers`` processes;
+- any ``workers`` with a timeout: one dedicated ``multiprocessing``
+  process per cell attempt (at most ``workers`` concurrent), because
+  enforcing a wall-clock budget requires the ability to *terminate* a
+  running worker, which a pool executor cannot do without poisoning its
+  sibling tasks.
+
+Processes are forked where the platform allows (so closures and test
+fixtures work as fault hooks); on spawn-only platforms every spec and
+hook must be picklable by reference.  Cell results cross the process
+boundary by pickling, so ``collect_metrics=True`` works under all
+engines — only results *replayed from a store* lose their ``metrics``
+(see :meth:`SimulationResult.to_dict`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..common.config import MachineConfig, config_digest, paper_machine
+from ..common.errors import CellTimeoutError, ReproError, SimulationError
+from ..traces.workloads import SPEC2000, get_workload
+from .results import SimulationResult
+from .store import CellKey, RunStore
+from .simulator import simulate
+
+#: Per-cell progress callback: ``(workload, config_name)`` as the cell starts.
+CellProgress = Callable[[str, str], None]
+
+#: Fault-injection hook, called in the worker just before simulation:
+#: ``(workload, config_name, attempt)``; raising makes the attempt fail.
+FaultHook = Callable[[str, str, int], None]
+
+#: Scheduler poll interval (seconds) for the subprocess engines.
+_POLL_INTERVAL = 0.02
+
+#: Grace period between SIGTERM and SIGKILL for a timed-out worker.
+_KILL_GRACE = 5.0
+
+
+# ---------------------------------------------------------------------------
+# Cell descriptions and outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One (workload, configuration) cell of a sweep."""
+
+    workload: str
+    config_name: str
+    config: Mapping[str, Any]
+    length: int
+    seed: int
+    warmup: int
+    machine: Optional[MachineConfig] = None
+
+    @property
+    def key(self) -> CellKey:
+        return (self.workload, self.config_name)
+
+    def label(self) -> str:
+        return f"{self.workload}:{self.config_name}"
+
+
+@dataclass
+class CellFailure:
+    """Structured record of a cell that produced no result."""
+
+    workload: str
+    config: str
+    #: Exception class name ("CellTimeoutError", "ConfigError", ...) or
+    #: "WorkerCrash" when the worker process died without reporting.
+    error_type: str
+    message: str
+    traceback: str = ""
+    attempts: int = 1
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellFailure":
+        return cls(**data)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.workload}:{self.config} failed after {self.attempts} "
+            f"attempt(s): {self.error_type}: {self.message}"
+        )
+
+
+@dataclass
+class SweepReport:
+    """Everything one :func:`run_sweep` invocation produced.
+
+    ``results`` has the :func:`~repro.sim.sweep.run_suite` shape —
+    ``{workload: {config_name: result}}`` in sweep order — holding every
+    cell that succeeded (this run or replayed from the store).  Failed
+    cells are absent from ``results`` and present in ``failures``.
+    """
+
+    results: Dict[str, Dict[str, SimulationResult]]
+    failures: List[CellFailure] = field(default_factory=list)
+    #: Cells actually executed by this invocation (not replayed).
+    executed: int = 0
+    #: Cells replayed from the checkpoint store.
+    replayed: int = 0
+    #: Attempts used per completed/failed cell key.
+    attempts: Dict[CellKey, int] = field(default_factory=dict)
+
+    @property
+    def ok_cells(self) -> int:
+        return sum(len(configs) for configs in self.results.values())
+
+    def raise_on_failure(self) -> None:
+        """Raise :class:`SimulationError` summarizing failures, if any."""
+        if not self.failures:
+            return
+        summary = "; ".join(str(f) for f in self.failures[:5])
+        if len(self.failures) > 5:
+            summary += f"; ... ({len(self.failures) - 5} more)"
+        raise SimulationError(
+            f"{len(self.failures)} of {self.ok_cells + len(self.failures)} "
+            f"sweep cells failed: {summary}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+
+
+def _execute_cell(
+    spec: CellSpec, fault_hook: Optional[FaultHook], attempt: int
+) -> SimulationResult:
+    """Build the cell's trace and simulate it (runs in the worker)."""
+    workload = get_workload(spec.workload)
+    trace = workload.build(length=spec.length + spec.warmup, seed=spec.seed)
+    if fault_hook is not None:
+        fault_hook(spec.workload, spec.config_name, attempt)
+    kwargs = dict(spec.config)
+    kwargs.setdefault("ipa", workload.ipa)
+    kwargs.setdefault("warmup", spec.warmup)
+    if spec.machine is not None:
+        kwargs.setdefault("machine", spec.machine)
+    return simulate(trace, **kwargs)  # type: ignore[arg-type]
+
+
+def _cell_worker(spec, fault_hook, attempt, conn) -> None:  # pragma: no cover — child
+    """Dedicated-process entry point: send outcome over *conn* and exit."""
+    try:
+        try:
+            result = _execute_cell(spec, fault_hook, attempt)
+        except Exception as exc:
+            conn.send(
+                (
+                    "error",
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                    _is_transient(exc),
+                )
+            )
+        else:
+            conn.send(("ok", result))
+    finally:
+        conn.close()
+
+
+def _is_transient(exc: BaseException) -> bool:
+    """Whether a failure is worth retrying.
+
+    Domain errors (:class:`ReproError` subclasses: bad configs, bad
+    traces, simulator misuse) are deterministic — the same inputs will
+    fail the same way — so they are never retried.  Everything else
+    (environmental errors, injected flakes, crashed workers) is.
+    """
+    return not isinstance(exc, ReproError)
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (hooks/closures work), else the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _backoff_delay(backoff: float, attempt: int, rng: random.Random) -> float:
+    """Exponential backoff with jitter: ``backoff * 2^(attempt-1) * U[0.5, 1.5)``."""
+    return backoff * (2 ** (attempt - 1)) * (0.5 + rng.random())
+
+
+# Internal per-attempt outcome: ("ok", result) | ("error", type, msg, tb,
+# transient) | ("crash", exitcode) | ("timeout",)
+_Outcome = Tuple[Any, ...]
+
+# Engine yield: (spec, outcome, attempts, elapsed_seconds)
+_CellDone = Tuple[CellSpec, _Outcome, int, float]
+
+
+@dataclass
+class _Pending:
+    spec: CellSpec
+    attempt: int
+    ready_at: float
+    started_at: float = 0.0
+
+
+class _RetryTracker:
+    """Shared retry bookkeeping: decides re-queue vs final failure."""
+
+    def __init__(self, retries: int, backoff: float) -> None:
+        self.retries = retries
+        self.backoff = backoff
+        self.rng = random.Random()
+
+    def next_delay(self, attempt: int) -> float:
+        return _backoff_delay(self.backoff, attempt, self.rng)
+
+    def should_retry(self, outcome: _Outcome, attempt: int) -> bool:
+        if attempt > self.retries:
+            return False
+        kind = outcome[0]
+        if kind == "error":
+            return bool(outcome[4])
+        if kind == "crash":
+            return True
+        return False  # timeouts: the budget was already spent once
+
+
+def _failure_from_outcome(spec: CellSpec, outcome: _Outcome, attempts: int) -> CellFailure:
+    kind = outcome[0]
+    if kind == "error":
+        _, error_type, message, tb, _transient = outcome
+        return CellFailure(spec.workload, spec.config_name, error_type, message, tb, attempts)
+    if kind == "crash":
+        exitcode = outcome[1]
+        return CellFailure(
+            spec.workload,
+            spec.config_name,
+            "WorkerCrash",
+            f"worker process died with exit code {exitcode} before reporting a result",
+            "",
+            attempts,
+        )
+    if kind == "timeout":
+        return CellFailure(
+            spec.workload,
+            spec.config_name,
+            CellTimeoutError.__name__,
+            f"cell exceeded its {outcome[1]:g}s wall-clock budget and was terminated",
+            "",
+            attempts,
+        )
+    raise AssertionError(f"unexpected outcome {outcome!r}")  # pragma: no cover
+
+
+def _error_outcome(exc: Exception) -> _Outcome:
+    return ("error", type(exc).__name__, str(exc), traceback.format_exc(), _is_transient(exc))
+
+
+# ---------------------------------------------------------------------------
+# Engines
+# ---------------------------------------------------------------------------
+
+
+def _run_serial(
+    cells: Sequence[CellSpec],
+    retry: _RetryTracker,
+    fault_hook: Optional[FaultHook],
+    progress: Optional[CellProgress],
+) -> Iterator[_CellDone]:
+    """In-process serial engine (``workers == 1``, no timeout)."""
+    for spec in cells:
+        attempt = 1
+        started = time.monotonic()
+        while True:
+            if progress is not None:
+                progress(spec.workload, spec.config_name)
+            try:
+                result = _execute_cell(spec, fault_hook, attempt)
+            except Exception as exc:
+                outcome = _error_outcome(exc)
+                if retry.should_retry(outcome, attempt):
+                    time.sleep(retry.next_delay(attempt))
+                    attempt += 1
+                    continue
+                yield spec, outcome, attempt, time.monotonic() - started
+                break
+            yield spec, ("ok", result), attempt, time.monotonic() - started
+            break
+
+
+def _run_pool(
+    cells: Sequence[CellSpec],
+    workers: int,
+    retry: _RetryTracker,
+    fault_hook: Optional[FaultHook],
+    progress: Optional[CellProgress],
+) -> Iterator[_CellDone]:
+    """ProcessPoolExecutor engine (``workers > 1``, no timeout).
+
+    Retries are rescheduled through a ready-time queue so the backoff
+    never blocks sibling cells.  A :class:`BrokenProcessPool` (a worker
+    hard-crashed, e.g. OOM-killed) fails every in-flight future, so the
+    executor is rebuilt and the affected cells are treated as crashed
+    attempts of their own.
+    """
+    ctx = _mp_context()
+    executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+    queue: List[_Pending] = [_Pending(spec, 1, 0.0) for spec in cells]
+    in_flight: Dict[Any, _Pending] = {}
+    broken = False
+    try:
+        while queue or in_flight:
+            now = time.monotonic()
+            if broken:
+                executor.shutdown(wait=False, cancel_futures=True)
+                executor = ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+                broken = False
+            ready = [p for p in queue if p.ready_at <= now]
+            for pending in ready:
+                queue.remove(pending)
+                if progress is not None:
+                    progress(pending.spec.workload, pending.spec.config_name)
+                if pending.started_at == 0.0:
+                    pending.started_at = now
+                fut = executor.submit(_execute_cell, pending.spec, fault_hook, pending.attempt)
+                in_flight[fut] = pending
+            if not in_flight:
+                time.sleep(_POLL_INTERVAL)
+                continue
+            done, _ = futures_wait(in_flight, timeout=_POLL_INTERVAL, return_when=FIRST_COMPLETED)
+            for fut in done:
+                pending = in_flight.pop(fut)
+                try:
+                    outcome: _Outcome = ("ok", fut.result())
+                except BrokenProcessPool:
+                    outcome = ("crash", "unknown (process pool broke)")
+                    broken = True
+                except CancelledError:
+                    # Pending in a pool that broke before this task started.
+                    outcome = ("crash", "unknown (cancelled by broken pool)")
+                except Exception as exc:
+                    outcome = _error_outcome(exc)
+                if outcome[0] != "ok" and retry.should_retry(outcome, pending.attempt):
+                    delay = retry.next_delay(pending.attempt)
+                    queue.append(
+                        _Pending(
+                            pending.spec,
+                            pending.attempt + 1,
+                            time.monotonic() + delay,
+                            pending.started_at,
+                        )
+                    )
+                    continue
+                yield (
+                    pending.spec,
+                    outcome,
+                    pending.attempt,
+                    time.monotonic() - pending.started_at,
+                )
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+class _WorkerProc:
+    """One dedicated worker process executing one cell attempt."""
+
+    def __init__(self, ctx, pending: _Pending, fault_hook, timeout: float) -> None:
+        self.pending = pending
+        self.recv_conn, send_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_cell_worker,
+            args=(pending.spec, fault_hook, pending.attempt, send_conn),
+            daemon=True,
+        )
+        self.process.start()
+        send_conn.close()  # keep only the child's handle on the write end
+        self.deadline = time.monotonic() + timeout
+
+    def poll(self, timeout: float) -> Optional[_Outcome]:
+        """Outcome if the attempt finished/expired, else None (still running)."""
+        # Sample liveness *before* draining the pipe: a worker that sends
+        # its result and exits between the two checks is then caught by
+        # the message branch now or on the next poll, never misreported
+        # as a crash.
+        alive = self.process.is_alive()
+        if self.recv_conn.poll():
+            try:
+                message = self.recv_conn.recv()
+            except EOFError:  # closed write end without a message
+                message = None
+            self._finish()
+            if message is None:
+                return ("crash", self.process.exitcode)
+            if message[0] == "ok":
+                return ("ok", message[1])
+            return message  # ("error", type, msg, tb, transient)
+        if not alive:
+            # Exited without a message in the pipe: a hard crash.
+            self._finish()
+            return ("crash", self.process.exitcode)
+        if time.monotonic() >= self.deadline:
+            self.kill()
+            return ("timeout", timeout)
+        return None
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_KILL_GRACE)
+            if self.process.is_alive():  # pragma: no cover — SIGTERM ignored
+                self.process.kill()
+                self.process.join()
+        self.recv_conn.close()
+
+    def _finish(self) -> None:
+        self.process.join()
+        self.recv_conn.close()
+
+
+def _run_processes(
+    cells: Sequence[CellSpec],
+    workers: int,
+    timeout: float,
+    retry: _RetryTracker,
+    fault_hook: Optional[FaultHook],
+    progress: Optional[CellProgress],
+) -> Iterator[_CellDone]:
+    """Dedicated-process engine: kill-capable, used whenever a timeout is set.
+
+    At most *workers* cells run concurrently, each in its own process so
+    a cell that exceeds its wall-clock budget is terminated without
+    disturbing its siblings.
+    """
+    ctx = _mp_context()
+    queue: List[_Pending] = [_Pending(spec, 1, 0.0) for spec in cells]
+    running: List[_WorkerProc] = []
+    try:
+        while queue or running:
+            now = time.monotonic()
+            ready = [p for p in queue if p.ready_at <= now]
+            while ready and len(running) < workers:
+                pending = ready.pop(0)
+                queue.remove(pending)
+                if progress is not None:
+                    progress(pending.spec.workload, pending.spec.config_name)
+                if pending.started_at == 0.0:
+                    pending.started_at = now
+                running.append(_WorkerProc(ctx, pending, fault_hook, timeout))
+            made_progress = False
+            for worker in list(running):
+                outcome = worker.poll(timeout)
+                if outcome is None:
+                    continue
+                made_progress = True
+                running.remove(worker)
+                pending = worker.pending
+                if outcome[0] != "ok" and retry.should_retry(outcome, pending.attempt):
+                    delay = retry.next_delay(pending.attempt)
+                    queue.append(
+                        _Pending(
+                            pending.spec,
+                            pending.attempt + 1,
+                            time.monotonic() + delay,
+                            pending.started_at,
+                        )
+                    )
+                    continue
+                yield (
+                    pending.spec,
+                    outcome,
+                    pending.attempt,
+                    time.monotonic() - pending.started_at,
+                )
+            if not made_progress:
+                time.sleep(_POLL_INTERVAL)
+    finally:
+        for worker in running:  # interrupted: don't leak children
+            worker.kill()
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_sweep(
+    configs: Mapping[str, Mapping[str, Any]],
+    *,
+    workloads: Optional[Sequence[str]] = None,
+    length: int = 100_000,
+    seed: int = 0,
+    machine: Optional[MachineConfig] = None,
+    warmup: Optional[int] = None,
+    progress: Optional[CellProgress] = None,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 0.25,
+    store: Optional[Union[RunStore, str, "os.PathLike[str]"]] = None,
+    resume: bool = False,
+    fault_hook: Optional[FaultHook] = None,
+) -> SweepReport:
+    """Run a workload×config sweep fault-tolerantly.
+
+    Args:
+        configs: ``{config_name: simulate-kwargs}`` as for ``run_suite``.
+        workloads: workload names (default: the full SPEC2000 stand-in set).
+        length, seed, machine, warmup: as for ``run_workload``; *warmup*
+            defaults to ``length // 3``.
+        progress: called with ``(workload, config_name)`` as each cell
+            starts (each retry attempt re-reports).
+        workers: concurrent cells; 1 selects the in-process serial path.
+        timeout: per-cell wall-clock budget in seconds.  Requires child
+            processes, so even ``workers=1`` runs cells out-of-process
+            when a timeout is set.
+        retries: extra attempts for transiently-failed cells (crashes and
+            non-:class:`ReproError` exceptions; deterministic domain
+            errors and timeouts are not retried).
+        backoff: base delay for exponential backoff between attempts.
+        store: checkpoint path or :class:`RunStore`; every finished cell
+            is appended, and with ``resume=True`` previously completed
+            cells are replayed from disk instead of re-executed.
+        resume: allow continuing into an existing, compatible store.
+        fault_hook: test/chaos hook run in the worker before simulation.
+
+    Returns:
+        A :class:`SweepReport`; failed cells appear in ``report.failures``
+        rather than raising, so partial results stay usable.
+    """
+    if workers < 1:
+        raise SimulationError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise SimulationError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise SimulationError(f"timeout must be positive, got {timeout}")
+    if not configs:
+        raise SimulationError("no configurations given")
+    names = list(workloads) if workloads is not None else list(SPEC2000)
+    for name in names:
+        get_workload(name)  # fail fast on unknown workloads
+    resolved_warmup = length // 3 if warmup is None else warmup
+    cells = [
+        CellSpec(
+            workload=name,
+            config_name=config_name,
+            config=dict(config),
+            length=length,
+            seed=seed,
+            warmup=resolved_warmup,
+            machine=machine,
+        )
+        for name in names
+        for config_name, config in configs.items()
+    ]
+
+    run_store: Optional[RunStore] = None
+    owns_store = False
+    replayed: Dict[CellKey, SimulationResult] = {}
+    retry = _RetryTracker(retries, backoff)
+    try:
+        if store is not None:
+            run_store = store if isinstance(store, RunStore) else RunStore(store)
+            owns_store = not isinstance(store, RunStore)
+            manifest = {
+                "length": length,
+                "seed": seed,
+                "warmup": resolved_warmup,
+                "machine": config_digest(machine if machine is not None else paper_machine()),
+                "workloads": names,
+                "configs": {name: config_digest(config) for name, config in configs.items()},
+                "created": time.time(),
+            }
+            prior = run_store.start(manifest, resume=resume)
+            wanted = {cell.key for cell in cells}
+            for key, record in prior.items():
+                # Only successful cells replay; failed ones re-execute.
+                if key in wanted and record.get("status") == "ok":
+                    replayed[key] = SimulationResult.from_dict(record["result"])
+
+        to_run = [cell for cell in cells if cell.key not in replayed]
+        if not to_run:
+            engine: Iterator[_CellDone] = iter(())
+        elif timeout is not None:
+            engine = _run_processes(to_run, workers, timeout, retry, fault_hook, progress)
+        elif workers > 1:
+            engine = _run_pool(to_run, workers, retry, fault_hook, progress)
+        else:
+            engine = _run_serial(to_run, retry, fault_hook, progress)
+
+        completed: Dict[CellKey, SimulationResult] = dict(replayed)
+        failures: List[CellFailure] = []
+        attempts: Dict[CellKey, int] = {}
+        for spec, outcome, cell_attempts, elapsed in engine:
+            attempts[spec.key] = cell_attempts
+            if outcome[0] == "ok":
+                completed[spec.key] = outcome[1]
+                if run_store is not None:
+                    run_store.record_result(
+                        spec.workload,
+                        spec.config_name,
+                        outcome[1],
+                        attempts=cell_attempts,
+                        elapsed=elapsed,
+                    )
+            else:
+                failure = _failure_from_outcome(spec, outcome, cell_attempts)
+                failures.append(failure)
+                if run_store is not None:
+                    run_store.record_failure(failure)
+    finally:
+        if run_store is not None and owns_store:
+            run_store.close()
+
+    results: Dict[str, Dict[str, SimulationResult]] = {}
+    for cell in cells:
+        if cell.key in completed:
+            results.setdefault(cell.workload, {})[cell.config_name] = completed[cell.key]
+        else:
+            results.setdefault(cell.workload, {})
+    return SweepReport(
+        results=results,
+        failures=failures,
+        executed=len(to_run),
+        replayed=len(replayed),
+        attempts=attempts,
+    )

@@ -1,0 +1,226 @@
+"""Append-only JSONL checkpoint store for sweep campaigns.
+
+A long workload×config sweep writes one line per event to a ``.jsonl``
+file so that an interrupted campaign can resume without redoing
+completed work:
+
+- one **manifest** line per runner invocation, recording the sweep
+  parameters (trace length, seed, warmup, machine digest) and a content
+  digest per named configuration;
+- one **cell** line per finished cell — either ``status: "ok"`` with
+  the serialized :class:`~repro.sim.results.SimulationResult`, or
+  ``status: "failed"`` with the structured failure record.
+
+The file is strictly append-only (crash-safe: every line is flushed and
+fsynced); a torn final line from a crash mid-write is tolerated and the
+cell simply re-runs.  When the same cell appears more than once (a
+failed cell re-run on resume), the **last** line wins.
+
+Resume safety: :meth:`RunStore.start` refuses to continue into a store
+whose manifest disagrees on length/seed/warmup/machine, or whose named
+configurations hash differently — silently mixing results from two
+different experiments is the classic campaign-corruption bug.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..common.errors import StoreError
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Store format version written into every manifest line.
+STORE_VERSION = 1
+
+#: Key identifying one cell: ``(workload, config_name)``.
+CellKey = Tuple[str, str]
+
+
+class RunStore:
+    """One sweep campaign's checkpoint file.
+
+    Use as a context manager (or call :meth:`close`)::
+
+        with RunStore("out.jsonl") as store:
+            prior = store.start(manifest, resume=True)
+            ...
+            store.record_result("gzip", "base", result, attempts=1, elapsed=2.0)
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = os.fspath(path)
+        self._fh = None
+
+    # -- reading -------------------------------------------------------------
+
+    def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[CellKey, Dict[str, Any]]]:
+        """Read the store: ``(latest_manifest, {(workload, config): cell})``.
+
+        Tolerates a torn (undecodable or incomplete) *final* line — the
+        signature of a crash mid-append — but raises :class:`StoreError`
+        for corruption anywhere else, or for cell lines that precede any
+        manifest.
+        """
+        if not os.path.exists(self.path):
+            return None, {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError as exc:
+            raise StoreError(f"cannot read store {self.path}: {exc}") from exc
+        manifest: Optional[Dict[str, Any]] = None
+        cells: Dict[CellKey, Dict[str, Any]] = {}
+        last = len(lines) - 1
+        for lineno, line in enumerate(lines):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+                kind = record["kind"]
+            except (ValueError, TypeError, KeyError) as exc:
+                if lineno == last:
+                    break  # torn trailing write; the cell will simply re-run
+                raise StoreError(
+                    f"{self.path}:{lineno + 1}: corrupt store line ({exc!r})"
+                ) from exc
+            if kind == "manifest":
+                version = record.get("version")
+                if version != STORE_VERSION:
+                    raise StoreError(
+                        f"{self.path}:{lineno + 1}: unsupported store version "
+                        f"{version!r} (this build reads {STORE_VERSION})"
+                    )
+                manifest = record
+            elif kind == "cell":
+                if manifest is None:
+                    raise StoreError(
+                        f"{self.path}:{lineno + 1}: cell record before any manifest"
+                    )
+                try:
+                    key = (record["workload"], record["config"])
+                except KeyError as exc:
+                    raise StoreError(
+                        f"{self.path}:{lineno + 1}: cell record missing {exc}"
+                    ) from exc
+                cells[key] = record
+            else:
+                raise StoreError(
+                    f"{self.path}:{lineno + 1}: unknown record kind {kind!r}"
+                )
+        return manifest, cells
+
+    # -- writing -------------------------------------------------------------
+
+    def start(
+        self, manifest: Mapping[str, Any], *, resume: bool = False
+    ) -> Dict[CellKey, Dict[str, Any]]:
+        """Open the store for appending and return previously stored cells.
+
+        A fresh store gets *manifest* as its first line.  A non-empty
+        store requires ``resume=True`` (protecting completed work from
+        accidental reuse of the same path) and must be **compatible**:
+        same length/seed/warmup/machine digest, and identical digests
+        for every configuration name both runs share.  A new manifest
+        line is appended on every start, leaving an audit trail.
+        """
+        prior, cells = self.load()
+        if prior is not None:
+            if not resume:
+                raise StoreError(
+                    f"store {self.path} already contains a run; pass resume=True "
+                    f"to continue it or remove the file to start over"
+                )
+            _check_compatible(self.path, prior, manifest)
+        try:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        except OSError as exc:
+            raise StoreError(f"cannot open store {self.path}: {exc}") from exc
+        self._append({"kind": "manifest", "version": STORE_VERSION, **manifest})
+        return cells
+
+    def record_result(
+        self,
+        workload: str,
+        config: str,
+        result: "Any",
+        *,
+        attempts: int = 1,
+        elapsed: float = 0.0,
+    ) -> None:
+        """Append one completed cell (``result`` is a SimulationResult)."""
+        self._append(
+            {
+                "kind": "cell",
+                "workload": workload,
+                "config": config,
+                "status": "ok",
+                "attempts": attempts,
+                "elapsed": round(elapsed, 6),
+                "result": result.to_dict(),
+            }
+        )
+
+    def record_failure(self, failure: "Any") -> None:
+        """Append one failed cell (``failure`` is a CellFailure)."""
+        self._append(
+            {
+                "kind": "cell",
+                "workload": failure.workload,
+                "config": failure.config,
+                "status": "failed",
+                "attempts": failure.attempts,
+                "failure": failure.to_dict(),
+            }
+        )
+
+    def _append(self, record: Mapping[str, Any]) -> None:
+        if self._fh is None:
+            raise StoreError(f"store {self.path} is not open; call start() first")
+        try:
+            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        except OSError as exc:
+            raise StoreError(f"cannot append to store {self.path}: {exc}") from exc
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "RunStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"RunStore({self.path!r})"
+
+
+def _check_compatible(
+    path: str, prior: Mapping[str, Any], manifest: Mapping[str, Any]
+) -> None:
+    """Raise :class:`StoreError` if *manifest* cannot resume over *prior*."""
+    for field in ("length", "seed", "warmup", "machine"):
+        if prior.get(field) != manifest.get(field):
+            raise StoreError(
+                f"store {path} was written by an incompatible sweep: "
+                f"{field} was {prior.get(field)!r}, resuming run has "
+                f"{manifest.get(field)!r}"
+            )
+    prior_configs = prior.get("configs", {})
+    new_configs = manifest.get("configs", {})
+    for name in sorted(set(prior_configs) & set(new_configs)):
+        if prior_configs[name] != new_configs[name]:
+            raise StoreError(
+                f"store {path}: configuration {name!r} hashes differently in the "
+                f"resuming run ({new_configs[name]} vs stored {prior_configs[name]}); "
+                f"rename the config or use a fresh store"
+            )

@@ -8,13 +8,16 @@ and run every configuration over it.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence
+import os
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 from ..common.config import MachineConfig
+from ..common.errors import SimulationError
 from ..traces.trace import Trace
 from ..traces.workloads import SPEC2000, get_workload
 from .results import SimulationResult
 from .simulator import simulate
+from .store import RunStore
 
 #: A configuration is a dict of keyword arguments for :func:`simulate`
 #: (e.g. ``{"victim_filter": "timekeeping"}``).
@@ -61,20 +64,72 @@ def run_suite(
     machine: Optional[MachineConfig] = None,
     progress: Optional[Callable[[str], None]] = None,
     warmup: Optional[int] = None,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    store: Optional[Union[RunStore, str, "os.PathLike[str]"]] = None,
+    resume: bool = False,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run many workloads under many configurations.
 
     Returns ``{workload: {config_name: result}}`` in workload order.
+
+    With the default keyword arguments this runs serially in-process
+    exactly as it always has (one trace built per workload, exceptions
+    propagating immediately).  Passing any of the fault-tolerance
+    options delegates to :func:`repro.sim.runner.run_sweep`:
+
+    - ``workers``: execute cells on that many worker processes;
+    - ``timeout``: per-cell wall-clock budget in seconds (a cell over
+      budget is killed and recorded);
+    - ``retries``: re-attempt transiently-failed cells with backoff;
+    - ``store`` / ``resume``: checkpoint cells to a JSONL file and
+      replay completed ones on a re-run.
+
+    On the delegated path every remaining cell still completes when
+    some cells fail, and the failures are raised *at the end* as one
+    :class:`SimulationError` (after checkpointing).  Use ``run_sweep``
+    directly to get partial results plus structured failures without
+    the raise.
     """
-    names = list(workloads) if workloads is not None else list(SPEC2000)
-    out: Dict[str, Dict[str, SimulationResult]] = {}
-    for name in names:
-        if progress is not None:
-            progress(name)
-        out[name] = run_workload(
-            name, configs, length=length, seed=seed, machine=machine, warmup=warmup
-        )
-    return out
+    if workers == 1 and timeout is None and retries == 0 and store is None:
+        names = list(workloads) if workloads is not None else list(SPEC2000)
+        out: Dict[str, Dict[str, SimulationResult]] = {}
+        for name in names:
+            if progress is not None:
+                progress(name)
+            out[name] = run_workload(
+                name, configs, length=length, seed=seed, machine=machine, warmup=warmup
+            )
+        return out
+
+    from .runner import run_sweep  # local import: runner imports this module's siblings
+
+    cell_progress = None
+    if progress is not None:
+        seen: set = set()
+
+        def cell_progress(workload: str, _config: str) -> None:
+            if workload not in seen:
+                seen.add(workload)
+                progress(workload)
+
+    report = run_sweep(
+        configs,
+        workloads=workloads,
+        length=length,
+        seed=seed,
+        machine=machine,
+        warmup=warmup,
+        progress=cell_progress,
+        workers=workers,
+        timeout=timeout,
+        retries=retries,
+        store=store,
+        resume=resume,
+    )
+    report.raise_on_failure()
+    return report.results
 
 
 def speedups(
@@ -82,8 +137,20 @@ def speedups(
     config: str,
     baseline: str = "base",
 ) -> Dict[str, float]:
-    """Per-workload relative IPC improvement of *config* over *baseline*."""
+    """Per-workload relative IPC improvement of *config* over *baseline*.
+
+    Raises :class:`SimulationError` (naming the configurations that are
+    present) if *config* or *baseline* is missing for some workload —
+    e.g. a cell that failed in a fault-tolerant sweep.
+    """
     out: Dict[str, float] = {}
     for workload, results in suite_results.items():
+        missing = [name for name in (config, baseline) if name not in results]
+        if missing:
+            available = ", ".join(sorted(results)) or "none"
+            raise SimulationError(
+                f"no {' or '.join(repr(m) for m in missing)} result for workload "
+                f"{workload!r}; available configs: {available}"
+            )
         out[workload] = results[config].speedup_over(results[baseline])
     return out

@@ -17,11 +17,14 @@ from typing import Union
 import numpy as np
 
 from ..common.errors import TraceError
+from ..common.types import AccessType
 from .trace import Trace, TraceBuilder
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 _FORMAT_VERSION = 1
+
+_VALID_KINDS = frozenset(int(kind) for kind in AccessType)
 
 
 def save_binary(trace: Trace, path: PathLike) -> None:
@@ -45,11 +48,20 @@ def load_binary(path: PathLike) -> Trace:
             version = int(data["version"])
             if version != _FORMAT_VERSION:
                 raise TraceError(f"unsupported trace format version {version}")
+            columns = {
+                name: data[name] for name in ("addresses", "pcs", "kinds", "gaps")
+            }
+            lengths = {name: len(col) for name, col in columns.items()}
+            if len(set(lengths.values())) != 1:
+                detail = ", ".join(f"{name}={n}" for name, n in lengths.items())
+                raise TraceError(
+                    f"corrupt trace {os.fspath(path)}: column lengths differ ({detail})"
+                )
             return Trace(
-                data["addresses"].tolist(),
-                data["pcs"].tolist(),
-                data["kinds"].tolist(),
-                data["gaps"].tolist(),
+                columns["addresses"].tolist(),
+                columns["pcs"].tolist(),
+                columns["kinds"].tolist(),
+                columns["gaps"].tolist(),
                 name=bytes(data["name"]).decode("utf-8"),
             )
     except (OSError, KeyError, ValueError) as exc:
@@ -84,13 +96,22 @@ def load_text(path: PathLike) -> Trace:
                 if len(parts) != 4:
                     raise TraceError(f"{path}:{lineno}: expected 4 fields, got {len(parts)}")
                 try:
-                    builder.add(
-                        int(parts[0], 16),
-                        pc=int(parts[1], 16),
-                        kind=int(parts[2]),
-                        gap=int(parts[3]),
-                    )
+                    address = int(parts[0], 16)
+                    pc = int(parts[1], 16)
+                    kind = int(parts[2])
+                    gap = int(parts[3])
                 except ValueError as exc:
+                    raise TraceError(f"{path}:{lineno}: {exc}") from exc
+                if kind not in _VALID_KINDS:
+                    raise TraceError(
+                        f"{path}:{lineno}: invalid access kind {kind} "
+                        f"(valid: {sorted(_VALID_KINDS)})"
+                    )
+                if gap < 0:
+                    raise TraceError(f"{path}:{lineno}: negative gap {gap}")
+                try:
+                    builder.add(address, pc=pc, kind=kind, gap=gap)
+                except TraceError as exc:
                     raise TraceError(f"{path}:{lineno}: {exc}") from exc
     except OSError as exc:
         raise TraceError(f"cannot load trace from {path}: {exc}") from exc

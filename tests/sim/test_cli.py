@@ -78,6 +78,50 @@ class TestMetrics:
         assert "conflict miss share" in out
 
 
+class TestSweep:
+    def test_basic_sweep(self, capsys):
+        assert main(["sweep", "--workloads", "gzip,eon",
+                     "--configs", "base,victim_tk",
+                     "--length", "1500", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "base IPC" in out
+        assert "victim_tk IPC" in out
+        assert "gzip" in out and "eon" in out
+        assert "0 failed" in out
+
+    def test_sweep_parallel_with_store_and_resume(self, capsys, tmp_path):
+        store = str(tmp_path / "out.jsonl")
+        args = ["sweep", "--workloads", "gzip,eon", "--configs", "base",
+                "--length", "1500", "--workers", "2", "--store", store, "--quiet"]
+        assert main(args) == 0
+        assert "(0 replayed from store)" in capsys.readouterr().out
+        assert main(args + ["--resume"]) == 0
+        assert "(2 replayed from store)" in capsys.readouterr().out
+
+    def test_sweep_unknown_config(self, capsys):
+        assert main(["sweep", "--workloads", "gzip",
+                     "--configs", "warp-drive", "--quiet"]) == 1
+        assert "unknown configs" in capsys.readouterr().err
+
+    def test_sweep_unknown_workload_is_clean_error(self, capsys):
+        assert main(["sweep", "--workloads", "warp9", "--quiet"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_store_without_resume_is_clean_error(self, capsys, tmp_path):
+        store = str(tmp_path / "out.jsonl")
+        args = ["sweep", "--workloads", "gzip", "--configs", "base",
+                "--length", "800", "--store", store, "--quiet"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 1
+        assert "resume" in capsys.readouterr().err
+
+    def test_sweep_progress_on_stderr(self, capsys):
+        assert main(["sweep", "--workloads", "gzip", "--configs", "base",
+                     "--length", "800"]) == 0
+        assert "running gzip:base" in capsys.readouterr().err
+
+
 class TestArgparse:
     def test_missing_command_exits_2(self):
         with pytest.raises(SystemExit) as exc:

@@ -80,3 +80,71 @@ class TestSimulationResult:
         text = r.summary()
         assert "victim cache" in text
         assert "prefetch" in text
+
+
+class TestSerialization:
+    def roundtrip(self, r):
+        import json
+        return SimulationResult.from_dict(json.loads(json.dumps(r.to_dict())))
+
+    def test_minimal_roundtrip(self):
+        r = result(ipc=2.0)
+        assert self.roundtrip(r) == r
+
+    def test_roundtrip_with_all_optional_stats(self):
+        from repro.classify.three_c import MissCounts
+        from repro.core.decay import DecayStats
+
+        counts = TimelinessCounts()
+        counts.add(True, PrefetchTimeliness.TIMELY)
+        counts.add(False, PrefetchTimeliness.EARLY)
+        r = result(
+            miss_counts=MissCounts(cold=3, conflict=2, capacity=1),
+            victim=VictimStats(entries=32, probes=9, hits=4, fills=5, rejected=1),
+            prefetch=PrefetchStats(
+                scheduled=10, fired=9, issued=8, arrived=7, useful=3,
+                predictor_lookups=20, predictor_hits=11, table_bytes=4096,
+                timeliness=counts,
+            ),
+            decay=DecayStats(off_line_cycles=100, total_line_cycles=400,
+                             induced_misses=2, clean_decays=7),
+            l2_hits=12, l2_misses=8, memory_accesses=8, writebacks=3,
+        )
+        back = self.roundtrip(r)
+        assert back == r
+        # Enum-keyed structures came back as real enums.
+        assert AccessOutcome.L1_HIT in back.outcomes
+        assert PrefetchTimeliness.TIMELY in back.prefetch.timeliness.correct
+
+    def test_simulated_result_roundtrip(self):
+        from repro.sim.sweep import run_workload
+
+        r = run_workload(
+            "vpr", {"run": {"victim_filter": "timekeeping"}}, length=2000
+        )["run"]
+        assert self.roundtrip(r) == r
+
+    def test_metrics_are_dropped(self):
+        from repro.sim.sweep import run_workload
+
+        r = run_workload("gzip", {"run": {"collect_metrics": True}}, length=1000)["run"]
+        assert r.metrics is not None
+        back = self.roundtrip(r)
+        assert back.metrics is None
+        # Everything else still round-trips.
+        assert back.timing == r.timing
+        assert back.outcomes == r.outcomes
+
+    def test_unsupported_version_rejected(self):
+        from repro.common.errors import SimulationError
+
+        data = result().to_dict()
+        data["version"] = 99
+        with pytest.raises(SimulationError, match="version"):
+            SimulationResult.from_dict(data)
+
+    def test_malformed_dict_rejected(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError, match="malformed"):
+            SimulationResult.from_dict({"version": 1, "name": "x"})

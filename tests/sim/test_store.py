@@ -1,0 +1,158 @@
+"""Tests for the JSONL checkpoint store."""
+
+import json
+
+import pytest
+
+from repro.common.errors import StoreError
+from repro.sim.runner import CellFailure
+from repro.sim.store import STORE_VERSION, RunStore
+from repro.sim.sweep import run_workload
+
+
+MANIFEST = {
+    "length": 1000,
+    "seed": 0,
+    "warmup": 333,
+    "machine": "abc123",
+    "workloads": ["gzip"],
+    "configs": {"base": "d1", "perfect": "d2"},
+}
+
+
+def make_result():
+    return run_workload("gzip", {"base": {}}, length=600, warmup=0)["base"]
+
+
+class TestRoundTrip:
+    def test_fresh_store_records_and_loads(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = make_result()
+        with RunStore(path) as store:
+            assert store.start(MANIFEST) == {}
+            store.record_result("gzip", "base", result, attempts=2, elapsed=1.5)
+            store.record_failure(
+                CellFailure("gzip", "perfect", "RuntimeError", "boom", "tb", 3)
+            )
+        manifest, cells = RunStore(path).load()
+        assert manifest["version"] == STORE_VERSION
+        assert manifest["configs"] == MANIFEST["configs"]
+        assert cells[("gzip", "base")]["status"] == "ok"
+        assert cells[("gzip", "base")]["attempts"] == 2
+        assert cells[("gzip", "perfect")]["status"] == "failed"
+        assert cells[("gzip", "perfect")]["failure"]["error_type"] == "RuntimeError"
+
+    def test_last_line_wins_per_cell(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = make_result()
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            store.record_failure(CellFailure("gzip", "base", "RuntimeError", "x", "", 1))
+            store.record_result("gzip", "base", result, attempts=1, elapsed=0.1)
+        _, cells = RunStore(path).load()
+        assert cells[("gzip", "base")]["status"] == "ok"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        manifest, cells = RunStore(tmp_path / "nope.jsonl").load()
+        assert manifest is None
+        assert cells == {}
+
+
+class TestResumeGuards:
+    def test_refuses_existing_store_without_resume(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+        with pytest.raises(StoreError, match="resume=True"):
+            RunStore(path).start(MANIFEST)
+
+    def test_resume_returns_prior_cells(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            store.record_result("gzip", "base", make_result(), attempts=1, elapsed=0.1)
+        with RunStore(path) as store:
+            cells = store.start(MANIFEST, resume=True)
+        assert set(cells) == {("gzip", "base")}
+
+    @pytest.mark.parametrize("field,value", [
+        ("length", 2000), ("seed", 9), ("warmup", 1), ("machine", "zzz"),
+    ])
+    def test_resume_rejects_parameter_mismatch(self, tmp_path, field, value):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+        changed = dict(MANIFEST, **{field: value})
+        with pytest.raises(StoreError, match=field):
+            RunStore(path).start(changed, resume=True)
+
+    def test_resume_rejects_config_digest_mismatch(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+        changed = dict(MANIFEST, configs={"base": "OTHER", "perfect": "d2"})
+        with pytest.raises(StoreError, match="'base'"):
+            RunStore(path).start(changed, resume=True)
+
+    def test_resume_allows_new_config_names(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+        extended = dict(MANIFEST, configs=dict(MANIFEST["configs"], extra="d3"))
+        RunStore(path).start(extended, resume=True)  # no raise
+
+
+class TestCorruption:
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            store.record_result("gzip", "base", make_result(), attempts=1, elapsed=0.1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "cell", "workload": "gzip", "config')  # crash mid-append
+        manifest, cells = RunStore(path).load()
+        assert manifest is not None
+        assert set(cells) == {("gzip", "base")}
+
+    def test_corrupt_middle_line_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"kind": "cell", "workload": "g", "config": "c",
+                                 "status": "ok"}) + "\n")
+        with pytest.raises(StoreError, match=":2"):
+            RunStore(path).load()
+
+    def test_unknown_record_kind_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            store.record_result("gzip", "base", make_result(), attempts=1, elapsed=0.1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "mystery"}) + "\n")
+            fh.write(json.dumps({"kind": "manifest"}) + "\n")  # not the last line
+        with pytest.raises(StoreError, match="mystery"):
+            RunStore(path).load()
+
+    def test_cell_before_manifest_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "cell", "workload": "g", "config": "c"}) + "\n")
+            fh.write(json.dumps({"kind": "manifest", "version": STORE_VERSION}) + "\n")
+        with pytest.raises(StoreError, match="before any manifest"):
+            RunStore(path).load()
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "manifest", "version": 99}) + "\n")
+            fh.write(json.dumps({"kind": "manifest", "version": 99}) + "\n")
+        with pytest.raises(StoreError, match="version"):
+            RunStore(path).load()
+
+    def test_append_requires_start(self, tmp_path):
+        store = RunStore(tmp_path / "run.jsonl")
+        with pytest.raises(StoreError, match="not open"):
+            store.record_failure(CellFailure("g", "c", "E", "m", "", 1))

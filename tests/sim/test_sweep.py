@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.common.errors import SimulationError, StoreError
 from repro.sim.sweep import run_suite, run_workload, speedups
 
 
@@ -46,6 +47,43 @@ class TestRunSuite:
         assert seen == ["gzip"]
 
 
+class TestRunSuiteFaultTolerance:
+    def test_parallel_workers_match_serial(self):
+        serial = run_suite(CONFIGS, workloads=["gzip", "eon"], length=1500)
+        parallel = run_suite(CONFIGS, workloads=["gzip", "eon"], length=1500,
+                             workers=2)
+        assert set(parallel) == set(serial)
+        for workload in serial:
+            for name in CONFIGS:
+                assert parallel[workload][name].ipc == serial[workload][name].ipc
+                assert (parallel[workload][name].l1_misses
+                        == serial[workload][name].l1_misses)
+
+    def test_delegated_path_raises_summarized_failures(self):
+        configs = {"base": {}, "bad": {"prefetcher": "warp-drive"}}
+        with pytest.raises(SimulationError, match="sweep cells failed"):
+            run_suite(configs, workloads=["gzip"], length=800, workers=2)
+
+    def test_store_and_resume(self, tmp_path):
+        store = tmp_path / "suite.jsonl"
+        first = run_suite(CONFIGS, workloads=["gzip"], length=1500, store=store)
+        again = run_suite(CONFIGS, workloads=["gzip"], length=1500,
+                          store=store, resume=True)
+        assert again["gzip"]["base"] == first["gzip"]["base"]
+
+    def test_store_refuses_silent_overwrite(self, tmp_path):
+        store = tmp_path / "suite.jsonl"
+        run_suite(CONFIGS, workloads=["gzip"], length=1000, store=store)
+        with pytest.raises(StoreError, match="resume"):
+            run_suite(CONFIGS, workloads=["gzip"], length=1000, store=store)
+
+    def test_progress_still_per_workload_when_delegated(self):
+        seen = []
+        run_suite({"base": {}}, workloads=["gzip", "eon"], length=800,
+                  workers=2, progress=seen.append)
+        assert sorted(seen) == ["eon", "gzip"]
+
+
 class TestSpeedups:
     def test_speedups_relative_to_baseline(self):
         # vpr's conflict thrash produces non-cold misses within a short
@@ -53,3 +91,17 @@ class TestSpeedups:
         out = run_suite(CONFIGS, workloads=["vpr"], length=6000)
         sp = speedups(out, "perfect", "base")
         assert sp["vpr"] > 0
+
+    def test_missing_config_raises_with_available_names(self):
+        out = run_suite(CONFIGS, workloads=["gzip"], length=800)
+        with pytest.raises(SimulationError) as exc:
+            speedups(out, "victim_tk", "base")
+        message = str(exc.value)
+        assert "victim_tk" in message
+        assert "base" in message and "perfect" in message  # names listed
+
+    def test_missing_baseline_raises(self):
+        out = run_suite({"perfect": {"perfect_non_cold": True}},
+                        workloads=["gzip"], length=800)
+        with pytest.raises(SimulationError, match="'base'"):
+            speedups(out, "perfect", "base")

@@ -106,3 +106,60 @@ def test_text_roundtrip_property(tmp_path, rows):
     assert back.pcs == t.pcs
     assert back.kinds == t.kinds
     assert back.gaps == t.gaps
+
+
+class TestTextValidation:
+    def test_negative_gap_names_line(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("1000 400 0 1\n2000 400 0 -5\n")
+        with pytest.raises(TraceError, match=r"bad\.trc:2.*negative gap -5"):
+            trace_io.load_text(path)
+
+    def test_out_of_range_kind_names_line(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("# header\n1000 400 9 1\n")
+        with pytest.raises(TraceError, match=r"bad\.trc:2.*invalid access kind 9"):
+            trace_io.load_text(path)
+
+    def test_negative_kind_rejected(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("1000 400 -1 1\n")
+        with pytest.raises(TraceError, match=r"bad\.trc:1.*invalid access kind"):
+            trace_io.load_text(path)
+
+    def test_negative_address_names_line(self, tmp_path):
+        path = tmp_path / "bad.trc"
+        path.write_text("1000 400 0 1\n-2f 400 0 1\n")
+        with pytest.raises(TraceError, match=r"bad\.trc:2"):
+            trace_io.load_text(path)
+
+
+class TestBinaryValidation:
+    def test_truncated_column_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "trunc.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            name=np.bytes_(b"trunc"),
+            addresses=np.asarray([1, 2, 3], dtype=np.uint64),
+            pcs=np.asarray([0, 0, 0], dtype=np.uint64),
+            kinds=np.asarray([0, 0], dtype=np.int8),  # one short
+            gaps=np.asarray([1, 1, 1], dtype=np.int32),
+        )
+        with pytest.raises(TraceError, match=r"column lengths differ.*kinds=2"):
+            trace_io.load_binary(path)
+
+    def test_missing_column_rejected(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "missing.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            name=np.bytes_(b"missing"),
+            addresses=np.asarray([1], dtype=np.uint64),
+        )
+        with pytest.raises(TraceError, match="cannot load trace"):
+            trace_io.load_binary(path)
