@@ -23,6 +23,7 @@ class Frame:
     __slots__ = (
         "set_index",
         "way",
+        "frame_key",
         "valid",
         "tag",
         "block_addr",
@@ -37,9 +38,13 @@ class Frame:
         "prefetch_used",
     )
 
-    def __init__(self, set_index: int, way: int) -> None:
+    def __init__(self, set_index: int, way: int, frame_key: int = -1) -> None:
         self.set_index = set_index
         self.way = way
+        #: Flat frame identifier (``set_index * associativity + way``).
+        #: The owning cache supplies it — the frame alone cannot know
+        #: the associativity; -1 for standalone frames.
+        self.frame_key = frame_key
         self.valid = False
         self.tag = -1
         #: Full block-aligned address currently resident (-1 when invalid).
@@ -76,7 +81,7 @@ class Frame:
         """Dead time if the resident block were evicted at *now*."""
         return now - self.last_access_time
 
-    def reset_generation(self, block_addr: int, tag: int, now: int, *, prefetched: bool = False) -> None:
+    def reset_generation(self, block_addr: int, tag: int, now: int, prefetched: bool = False) -> None:
         """Begin a new generation for *block_addr* at cycle *now*."""
         if self.valid:
             self.prev_tag = self.tag
@@ -91,7 +96,7 @@ class Frame:
         self.prefetched = prefetched
         self.prefetch_used = False
 
-    def record_hit(self, now: int, *, store: bool = False) -> None:
+    def record_hit(self, now: int, store: bool = False) -> None:
         """Record a demand hit at cycle *now*.
 
         The first demand use of a *prefetched* block re-anchors the

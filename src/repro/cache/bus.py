@@ -30,6 +30,9 @@ class Bus:
         #: Cycle at which the most recent demand transfer completes;
         #: starts in the past so an idle bus never delays prefetches.
         self.last_demand_end = -demand_shadow
+        #: num_bytes -> occupancy cycles; callers use a couple of fixed
+        #: block sizes, so this avoids recomputing per request.
+        self._transfer_cycles: dict = {}
         # Statistics.
         self.demand_transfers = 0
         self.prefetch_transfers = 0
@@ -54,7 +57,10 @@ class Bus:
         else:
             self.demand_wait_cycles += start - now
             self.demand_transfers += 1
-        end = start + self.config.transfer_cycles(num_bytes)
+        cycles = self._transfer_cycles.get(num_bytes)
+        if cycles is None:
+            cycles = self._transfer_cycles[num_bytes] = self.config.transfer_cycles(num_bytes)
+        end = start + cycles
         self.free_at = end
         if not prefetch:
             self.last_demand_end = end

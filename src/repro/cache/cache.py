@@ -22,7 +22,7 @@ the simulator's hot path.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..common.config import CacheConfig
 from .block import Frame
@@ -36,6 +36,14 @@ class SetAssociativeCache:
     right-shifted by the block offset) — use :meth:`block_address` to
     convert.  Keeping the shift at the caller avoids repeating it on the
     L2 path where the block size differs.
+
+    Residency is tracked two ways: the per-set frame lists (the physical
+    geometry replacement policies operate on) and a block→frame tag
+    store, so :meth:`probe` is a single dict lookup instead of a set
+    scan.  Every state change must go through :meth:`fill`,
+    :meth:`invalidate`, or :meth:`invalidate_frame` to keep the two
+    views consistent; flipping ``frame.valid`` directly will desync
+    them.
     """
 
     def __init__(self, config: CacheConfig, policy: Optional[ReplacementPolicy] = None) -> None:
@@ -44,11 +52,20 @@ class SetAssociativeCache:
         self.num_sets = config.num_sets
         self.associativity = config.associativity
         self._set_mask = self.num_sets - 1
-        self._sets: List[List[Frame]] = [
-            [Frame(s, w) for w in range(config.associativity)] for s in range(self.num_sets)
-        ]
+        self._index_bits = config.index_bits
+        #: Per-set frame lists, materialized on first touch: a large L2
+        #: allocates tens of thousands of frames, and sweeps over short
+        #: traces never reference most sets.
+        self._sets: List[Optional[List[Frame]]] = [None] * self.num_sets
+        #: Resident block address -> its frame (the O(1) tag store).
+        self._tags: Dict[int, Frame] = {}
+        #: Valid frames per set; lets choose_victim skip the
+        #: invalid-frame scan once a set is full (the steady state).
+        self._valid_counts: List[int] = [0] * self.num_sets
         #: Monotone counter driving LRU stamps.
         self._clock = 0
+        #: Policy flag hoisted out of the touch() hot path.
+        self._stamps_on_hit = self.policy.stamps_on_hit
         # Aggregate counters (mechanism-level; outcome-level stats live
         # in the simulator).
         self.hits = 0
@@ -67,7 +84,7 @@ class SetAssociativeCache:
 
     def tag_of(self, block_addr: int) -> int:
         """Tag for a block address."""
-        return block_addr >> self.config.index_bits
+        return block_addr >> self._index_bits
 
     # -- access protocol ----------------------------------------------------
 
@@ -76,28 +93,33 @@ class SetAssociativeCache:
 
         Does not update replacement state; pair with :meth:`touch`.
         """
-        for frame in self._sets[block_addr & self._set_mask]:
-            if frame.valid and frame.block_addr == block_addr:
-                return frame
-        return None
+        return self._tags.get(block_addr)
 
     def touch(self, frame: Frame, now: int, *, store: bool = False) -> None:
         """Record a demand hit on *frame* at cycle *now*."""
         self.hits += 1
         frame.record_hit(now, store=store)
-        if self.policy.stamps_on_hit:
+        if self._stamps_on_hit:
             self._clock += 1
             frame.lru_stamp = self._clock
 
     def choose_victim(self, block_addr: int) -> Frame:
         """Pick the frame that a fill of *block_addr* would replace.
 
-        Prefers an invalid frame; otherwise delegates to the policy.
+        Prefers the first invalid frame in way order; otherwise
+        delegates to the policy.  Full sets (the steady state) skip the
+        invalid-frame scan via the per-set valid count.
         """
-        frames = self._sets[block_addr & self._set_mask]
-        for frame in frames:
-            if not frame.valid:
-                return frame
+        set_index = block_addr & self._set_mask
+        frames = self._sets[set_index]
+        if frames is None:
+            frames = self._materialize_set(set_index)
+        if self._valid_counts[set_index] < self.associativity:
+            for frame in frames:
+                if not frame.valid:
+                    return frame
+        if self.associativity == 1:
+            return frames[0]
         return self.policy.choose_victim(frames)
 
     def fill(self, frame: Frame, block_addr: int, now: int, *, store: bool = False,
@@ -112,13 +134,18 @@ class SetAssociativeCache:
         """
         if frame.valid:
             self.evictions += 1
+            del self._tags[frame.block_addr]
+        else:
+            self._valid_counts[frame.set_index] += 1
         if not prefetched:
             self.misses += 1
-        frame.reset_generation(block_addr, self.tag_of(block_addr), now, prefetched=prefetched)
+        frame.reset_generation(block_addr, block_addr >> self._index_bits, now,
+                               prefetched=prefetched)
+        self._tags[block_addr] = frame
         if store:
             frame.dirty = True
         if lru_insert and self.associativity > 1:
-            frames = self._sets[block_addr & self._set_mask]
+            frames = self._materialize_set(block_addr & self._set_mask)
             frame.lru_stamp = min(f.lru_stamp for f in frames if f is not frame) - 1
         else:
             self._clock += 1
@@ -127,7 +154,7 @@ class SetAssociativeCache:
     def access(self, block_addr: int, now: int, *, store: bool = False,
                lru_insert: bool = False) -> bool:
         """Convenience probe+touch / choose+fill; returns True on hit."""
-        frame = self.probe(block_addr)
+        frame = self._tags.get(block_addr)
         if frame is not None:
             self.touch(frame, now, store=store)
             return True
@@ -137,22 +164,44 @@ class SetAssociativeCache:
 
     def invalidate(self, block_addr: int) -> Optional[Frame]:
         """Remove *block_addr* if resident; return its frame."""
-        frame = self.probe(block_addr)
+        frame = self._tags.get(block_addr)
         if frame is not None:
+            self.invalidate_frame(frame)
+        return frame
+
+    def invalidate_frame(self, frame: Frame) -> None:
+        """Invalidate *frame* in place, keeping the tag store consistent.
+
+        The simulator's decay path drops lines by frame (it already
+        holds the probe result); going through this method instead of
+        flipping ``frame.valid`` keeps the block→frame map in sync.
+        """
+        if frame.valid:
+            del self._tags[frame.block_addr]
+            self._valid_counts[frame.set_index] -= 1
             frame.valid = False
             frame.block_addr = -1
-        return frame
 
     # -- introspection -------------------------------------------------------
 
+    def _materialize_set(self, set_index: int) -> List[Frame]:
+        """Create (or return) the frame list of one set."""
+        frames = self._sets[set_index]
+        if frames is None:
+            assoc = self.associativity
+            base = set_index * assoc
+            frames = [Frame(set_index, w, base + w) for w in range(assoc)]
+            self._sets[set_index] = frames
+        return frames
+
     def frames(self) -> Iterator[Frame]:
         """Iterate all frames (valid and invalid)."""
-        for frames in self._sets:
-            yield from frames
+        for set_index in range(self.num_sets):
+            yield from self._materialize_set(set_index)
 
     def set_frames(self, set_index: int) -> List[Frame]:
         """Frames of one set (the actual list; treat as read-only)."""
-        return self._sets[set_index]
+        return self._materialize_set(set_index)
 
     def resident_blocks(self) -> Iterator[int]:
         """Block addresses currently resident."""

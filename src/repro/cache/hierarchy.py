@@ -10,17 +10,17 @@ same path but lose bus arbitration to demand traffic.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from ..common.config import MachineConfig
 from .bus import Bus
 from .cache import SetAssociativeCache
 from .replacement import LRUPolicy
 
 
-@dataclass(frozen=True)
 class FetchResult:
     """Outcome of a below-L1 fetch.
+
+    A slotted plain class (one is allocated per L1 miss): frozen
+    dataclasses pay an ``object.__setattr__`` per field on construction.
 
     Attributes:
         completes_at: Absolute cycle the L1 fill completes.
@@ -28,9 +28,18 @@ class FetchResult:
         from_memory: True when the L2 missed and main memory was accessed.
     """
 
-    completes_at: int
-    latency: int
-    from_memory: bool
+    __slots__ = ("completes_at", "latency", "from_memory")
+
+    def __init__(self, completes_at: int, latency: int, from_memory: bool) -> None:
+        self.completes_at = completes_at
+        self.latency = latency
+        self.from_memory = from_memory
+
+    def __repr__(self) -> str:
+        return (
+            f"FetchResult(completes_at={self.completes_at}, "
+            f"latency={self.latency}, from_memory={self.from_memory})"
+        )
 
 
 class MemoryHierarchy:
@@ -44,6 +53,8 @@ class MemoryHierarchy:
         self._l1_block = machine.l1d.block_size
         self._l2_block = machine.l2.block_size
         self._l2_shift = machine.l2.offset_bits - machine.l1d.offset_bits
+        self._l2_hit_latency = machine.l2.hit_latency
+        self._memory_latency = machine.memory_latency
         # Statistics.
         self.l2_demand_hits = 0
         self.l2_demand_misses = 0
@@ -61,8 +72,24 @@ class MemoryHierarchy:
         displacing the demand working set (anti-pollution placement).
         """
         l2_block_addr = l1_block_addr >> self._l2_shift
-        l2_ready = now + self.machine.l2.hit_latency
-        hit = self.l2.access(l2_block_addr, now, store=store, lru_insert=prefetch)
+        l2_ready = now + self._l2_hit_latency
+        # Inline of self.l2.access(l2_block_addr, now, store=store,
+        # lru_insert=prefetch): fetch runs once per L1 miss and the
+        # probe/touch wrappers dominate its cost.
+        l2 = self.l2
+        frame = l2._tags.get(l2_block_addr)
+        if frame is not None:
+            l2.hits += 1
+            frame.record_hit(now, store)
+            if l2._stamps_on_hit:
+                clock = l2._clock + 1
+                l2._clock = clock
+                frame.lru_stamp = clock
+            hit = True
+        else:
+            victim = l2.choose_victim(l2_block_addr)
+            l2.fill(victim, l2_block_addr, now, store=store, lru_insert=prefetch)
+            hit = False
         if hit:
             if prefetch:
                 self.l2_prefetch_hits += 1
@@ -76,7 +103,7 @@ class MemoryHierarchy:
                 self.l2_demand_misses += 1
             self.memory_accesses += 1
             mem_done = self.memory_bus.request(l2_ready, self._l2_block, prefetch=prefetch)
-            data_at = mem_done + self.machine.memory_latency
+            data_at = mem_done + self._memory_latency
         end = self.l1_l2_bus.request(data_at, self._l1_block, prefetch=prefetch)
         return FetchResult(completes_at=end, latency=end - now, from_memory=not hit)
 

@@ -8,11 +8,17 @@ it (FIFO by only stamping on fill), Random ignores it.
 from __future__ import annotations
 
 import abc
+from operator import attrgetter
 from typing import List, Sequence
 
 from ..common.errors import ConfigError
 from ..common.rng import make_rng
 from .block import Frame
+
+#: Shared key function for stamp-ordered policies; attrgetter avoids a
+#: Python-level lambda frame per comparison in the victim-selection
+#: hot path.
+_BY_STAMP = attrgetter("lru_stamp")
 
 
 class ReplacementPolicy(abc.ABC):
@@ -34,7 +40,7 @@ class LRUPolicy(ReplacementPolicy):
     stamps_on_hit = True
 
     def choose_victim(self, frames: Sequence[Frame]) -> Frame:
-        return min(frames, key=lambda f: f.lru_stamp)
+        return min(frames, key=_BY_STAMP)
 
 
 class FIFOPolicy(ReplacementPolicy):
@@ -43,7 +49,7 @@ class FIFOPolicy(ReplacementPolicy):
     stamps_on_hit = False
 
     def choose_victim(self, frames: Sequence[Frame]) -> Frame:
-        return min(frames, key=lambda f: f.lru_stamp)
+        return min(frames, key=_BY_STAMP)
 
 
 class RandomPolicy(ReplacementPolicy):

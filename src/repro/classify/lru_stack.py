@@ -60,6 +60,8 @@ class BoundedLRU:
     definition.  ``access`` returns True on hit.
     """
 
+    __slots__ = ("capacity", "_blocks")
+
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
             raise ConfigError(f"BoundedLRU capacity must be >= 1, got {capacity}")
@@ -68,12 +70,13 @@ class BoundedLRU:
 
     def access(self, block: int) -> bool:
         """Touch *block*; returns True if it was resident (hit)."""
-        if block in self._blocks:
-            self._blocks.move_to_end(block)
+        blocks = self._blocks
+        if block in blocks:
+            blocks.move_to_end(block)
             return True
-        if len(self._blocks) >= self.capacity:
-            self._blocks.popitem(last=False)
-        self._blocks[block] = None
+        if len(blocks) >= self.capacity:
+            blocks.popitem(last=False)
+        blocks[block] = None
         return False
 
     def __contains__(self, block: int) -> bool:

@@ -58,8 +58,13 @@ class MissCounts:
 class ThreeCClassifier:
     """Online 3C classifier for one cache level."""
 
+    __slots__ = ("shadow", "_seen", "_shadow_blocks", "counts")
+
     def __init__(self, capacity_blocks: int) -> None:
         self.shadow = BoundedLRU(capacity_blocks)
+        #: Direct view of the shadow's recency dict; membership tests in
+        #: the hot path skip the BoundedLRU.__contains__ dispatch.
+        self._shadow_blocks = self.shadow._blocks
         self._seen: Set[int] = set()
         self.counts = MissCounts()
 
@@ -69,14 +74,15 @@ class ThreeCClassifier:
         Consults only state from *previous* references, as the
         definition requires.
         """
+        counts = self.counts
         if block_addr not in self._seen:
-            kind = MissClass.COLD
-        elif block_addr in self.shadow:
-            kind = MissClass.CONFLICT
-        else:
-            kind = MissClass.CAPACITY
-        self.counts.add(kind)
-        return kind
+            counts.cold += 1
+            return MissClass.COLD
+        if block_addr in self._shadow_blocks:
+            counts.conflict += 1
+            return MissClass.CONFLICT
+        counts.capacity += 1
+        return MissClass.CAPACITY
 
     def record_access(self, block_addr: int) -> None:
         """Update shadow state with an access (hit or miss) to *block_addr*."""

@@ -14,35 +14,43 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
 
-@dataclass
 class Histogram:
     """Fixed-bin-width histogram with an overflow bin (paper-figure style).
 
     ``bin_width`` cycles per bin, ``num_bins`` regular bins covering
     ``[0, bin_width * num_bins)``, plus one overflow bin (the paper's
     ">100" bar).  Matches the x-axes of Figures 4, 5, 7 and 9.
+
+    A slotted plain class rather than a dataclass: :meth:`add` runs once
+    per simulated access when metrics are on, so instance compactness
+    and a short method body matter.
     """
 
-    bin_width: int
-    num_bins: int
-    counts: List[int] = field(default_factory=list)
-    overflow: int = 0
-    total: int = 0
-    _sum: float = 0.0
+    __slots__ = ("bin_width", "num_bins", "counts", "overflow", "total", "_sum")
 
-    def __post_init__(self) -> None:
-        if self.bin_width <= 0:
+    def __init__(self, bin_width: int, num_bins: int) -> None:
+        if bin_width <= 0:
             raise ValueError("bin_width must be positive")
-        if self.num_bins <= 0:
+        if num_bins <= 0:
             raise ValueError("num_bins must be positive")
-        if not self.counts:
-            self.counts = [0] * self.num_bins
+        self.bin_width = bin_width
+        self.num_bins = num_bins
+        self.counts: List[int] = [0] * num_bins
+        self.overflow = 0
+        self.total = 0
+        self._sum = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram(bin_width={self.bin_width}, num_bins={self.num_bins}, "
+            f"total={self.total})"
+        )
 
     def add(self, value: float, weight: int = 1) -> None:
         """Record *value* (a duration in cycles)."""
         if value < 0:
             raise ValueError(f"histogram values must be non-negative, got {value}")
-        idx = int(value // self.bin_width)
+        idx = value // self.bin_width
         if idx >= self.num_bins:
             self.overflow += weight
         else:

@@ -21,34 +21,90 @@ correlation off the last generation of the line that misses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 
-@dataclass(frozen=True)
 class GenerationRecord:
-    """One closed cache-line generation."""
+    """One closed cache-line generation.
 
-    block_addr: int
-    start: int
-    live_time: int
-    dead_time: int
-    hit_count: int
-    #: Largest access interval observed within the live time (0 when
-    #: fewer than one hit); used by the decay dead-block evaluation.
-    max_access_interval: int
-    #: Live time of the same block's previous generation, or None — the
-    #: input to the live-time dead-block predictor evaluation.
-    prev_live_time: Optional[int]
+    A slotted plain class rather than a frozen dataclass: one record is
+    allocated per eviction, and ``object.__setattr__``-per-field makes
+    frozen-dataclass construction the dominant cost of ``on_evict``.
+
+    Attributes:
+        max_access_interval: Largest access interval observed within the
+            live time (0 when fewer than one hit); used by the decay
+            dead-block evaluation.
+        prev_live_time: Live time of the same block's previous
+            generation, or None — the input to the live-time dead-block
+            predictor evaluation.
+    """
+
+    __slots__ = (
+        "block_addr",
+        "start",
+        "live_time",
+        "dead_time",
+        "hit_count",
+        "max_access_interval",
+        "prev_live_time",
+    )
+
+    def __init__(
+        self,
+        block_addr: int,
+        start: int,
+        live_time: int,
+        dead_time: int,
+        hit_count: int,
+        max_access_interval: int,
+        prev_live_time: Optional[int],
+    ) -> None:
+        self.block_addr = block_addr
+        self.start = start
+        self.live_time = live_time
+        self.dead_time = dead_time
+        self.hit_count = hit_count
+        self.max_access_interval = max_access_interval
+        self.prev_live_time = prev_live_time
 
     @property
     def generation_time(self) -> int:
         """Fill to eviction."""
         return self.live_time + self.dead_time
 
+    def __repr__(self) -> str:
+        return (
+            f"GenerationRecord(block_addr={self.block_addr}, start={self.start}, "
+            f"live_time={self.live_time}, dead_time={self.dead_time}, "
+            f"hit_count={self.hit_count}, "
+            f"max_access_interval={self.max_access_interval}, "
+            f"prev_live_time={self.prev_live_time})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GenerationRecord):
+            return NotImplemented
+        return (
+            self.block_addr == other.block_addr
+            and self.start == other.start
+            and self.live_time == other.live_time
+            and self.dead_time == other.dead_time
+            and self.hit_count == other.hit_count
+            and self.max_access_interval == other.max_access_interval
+            and self.prev_live_time == other.prev_live_time
+        )
+
 
 @dataclass(frozen=True)
 class LastGeneration:
-    """Summary of a block's most recent *closed* generation."""
+    """Summary of a block's most recent *closed* generation.
+
+    Legacy view type: :meth:`GenerationTracker.last_generation` now
+    returns the full :class:`GenerationRecord` (which carries the same
+    ``start``/``live_time``/``dead_time`` fields) instead of allocating
+    one of these per eviction.
+    """
 
     start: int
     live_time: int
@@ -70,6 +126,16 @@ class GenerationTracker:
             :attr:`records` (tests, offline analysis).
     """
 
+    __slots__ = (
+        "_on_generation",
+        "_keep",
+        "records",
+        "_last_gen",
+        "_open_last",
+        "_open_max",
+        "closed_generations",
+    )
+
     def __init__(
         self,
         on_generation: Optional[Callable[[GenerationRecord], None]] = None,
@@ -79,12 +145,25 @@ class GenerationTracker:
         self._on_generation = on_generation
         self._keep = keep_records
         self.records: List[GenerationRecord] = []
-        #: block_addr -> LastGeneration of the block's previous tenancy.
-        self._last_gen: Dict[int, LastGeneration] = {}
-        #: frame id -> (last access time, max interval so far) for the
-        #: open generation; frame id is any hashable the caller uses.
-        self._open: Dict[int, Tuple[int, int]] = {}
+        #: block_addr -> closed record of the block's previous tenancy
+        #: (exposes the start/live_time/dead_time trio callers read).
+        self._last_gen: Dict[int, GenerationRecord] = {}
+        #: Open-generation state, split into parallel int-valued dicts
+        #: so the per-hit update allocates nothing (no tuple per access);
+        #: frame id is any hashable the caller uses.
+        self._open_last: Dict[int, int] = {}
+        self._open_max: Dict[int, int] = {}
         self.closed_generations = 0
+
+    def set_on_generation(
+        self, callback: Optional[Callable[[GenerationRecord], None]]
+    ) -> None:
+        """Replace the closed-generation callback.
+
+        The warm-up reset uses this to hook a fresh metrics collector
+        without reaching into tracker internals.
+        """
+        self._on_generation = callback
 
     # -- event feed ----------------------------------------------------------
 
@@ -94,7 +173,8 @@ class GenerationTracker:
         The reload interval is ``now - start of the block's previous
         generation`` and is only defined from the second generation on.
         """
-        self._open[frame_id] = (now, 0)
+        self._open_last[frame_id] = now
+        self._open_max[frame_id] = 0
         last = self._last_gen.get(block_addr)
         if last is None:
             return None
@@ -102,11 +182,12 @@ class GenerationTracker:
 
     def on_hit(self, frame_id: int, now: int) -> int:
         """Record a demand hit; returns this access interval."""
-        last_access, max_interval = self._open[frame_id]
-        interval = now - last_access
-        if interval > max_interval:
-            max_interval = interval
-        self._open[frame_id] = (now, max_interval)
+        open_last = self._open_last
+        interval = now - open_last[frame_id]
+        open_last[frame_id] = now
+        open_max = self._open_max
+        if interval > open_max[frame_id]:
+            open_max[frame_id] = interval
         return interval
 
     def on_evict(
@@ -116,7 +197,6 @@ class GenerationTracker:
         fill_time: int,
         live_time: int,
         now: int,
-        *,
         hit_count: int = 0,
     ) -> GenerationRecord:
         """Close the generation open on *frame_id* and return its record.
@@ -129,20 +209,20 @@ class GenerationTracker:
             now: Eviction cycle.
             hit_count: Demand hits the generation received.
         """
-        _, max_interval = self._open.pop(frame_id, (fill_time, 0))
-        prev = self._last_gen.get(block_addr)
+        self._open_last.pop(frame_id, None)
+        max_interval = self._open_max.pop(frame_id, 0)
+        last_gen = self._last_gen
+        prev = last_gen.get(block_addr)
         record = GenerationRecord(
-            block_addr=block_addr,
-            start=fill_time,
-            live_time=live_time,
-            dead_time=now - (fill_time + live_time),
-            hit_count=hit_count,
-            max_access_interval=max_interval,
-            prev_live_time=prev.live_time if prev is not None else None,
+            block_addr,
+            fill_time,
+            live_time,
+            now - (fill_time + live_time),
+            hit_count,
+            max_interval,
+            prev.live_time if prev is not None else None,
         )
-        self._last_gen[block_addr] = LastGeneration(
-            start=fill_time, live_time=live_time, dead_time=record.dead_time
-        )
+        last_gen[block_addr] = record
         self.closed_generations += 1
         if self._on_generation is not None:
             self._on_generation(record)
@@ -152,7 +232,7 @@ class GenerationTracker:
 
     # -- miss-time queries (Section 4 correlations) ---------------------------
 
-    def last_generation(self, block_addr: int) -> Optional[LastGeneration]:
+    def last_generation(self, block_addr: int) -> Optional[GenerationRecord]:
         """The block's most recent closed generation, if any.
 
         At a miss to ``block_addr``, this is "the last generation of the

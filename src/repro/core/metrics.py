@@ -32,14 +32,32 @@ RELOAD_BIN = 1000
 NUM_BINS = 100
 
 
-@dataclass(frozen=True)
 class MissCorrelation:
-    """A non-cold miss joined with its block's previous generation."""
+    """A non-cold miss joined with its block's previous generation.
 
-    miss_class: MissClass
-    reload_interval: int
-    last_dead_time: int
-    last_live_time: int
+    Slotted plain class: one is allocated per non-cold miss during
+    metric collection.
+    """
+
+    __slots__ = ("miss_class", "reload_interval", "last_dead_time", "last_live_time")
+
+    def __init__(
+        self,
+        miss_class: MissClass,
+        reload_interval: int,
+        last_dead_time: int,
+        last_live_time: int,
+    ) -> None:
+        self.miss_class = miss_class
+        self.reload_interval = reload_interval
+        self.last_dead_time = last_dead_time
+        self.last_live_time = last_live_time
+
+    def __repr__(self) -> str:
+        return (
+            f"MissCorrelation({self.miss_class}, reload={self.reload_interval}, "
+            f"dead={self.last_dead_time}, live={self.last_live_time})"
+        )
 
 
 class TimekeepingMetrics:
@@ -78,14 +96,37 @@ class TimekeepingMetrics:
     # -- event feed ----------------------------------------------------------
 
     def on_generation(self, record: GenerationRecord) -> None:
-        """Consume a closed generation (GenerationTracker callback)."""
+        """Consume a closed generation (GenerationTracker callback).
+
+        The two histogram updates are written out inline (rather than
+        through :meth:`Histogram.add`): this callback fires on every
+        eviction and is the hottest metrics path.  Live and dead times
+        are non-negative by construction, so the range check of
+        ``Histogram.add`` is not needed here.
+        """
         self.total_generations += 1
-        self.live_time.add(record.live_time)
-        self.dead_time.add(record.dead_time)
-        if record.live_time == 0:
+        lt = record.live_time
+        dt = record.dead_time
+        h = self.live_time
+        idx = lt // h.bin_width
+        if idx >= h.num_bins:
+            h.overflow += 1
+        else:
+            h.counts[idx] += 1
+        h.total += 1
+        h._sum += lt
+        h = self.dead_time
+        idx = dt // h.bin_width
+        if idx >= h.num_bins:
+            h.overflow += 1
+        else:
+            h.counts[idx] += 1
+        h.total += 1
+        h._sum += dt
+        if lt == 0:
             self.zero_live_generations += 1
         if record.prev_live_time is not None:
-            self.live_time_pairs.append((record.prev_live_time, record.live_time))
+            self.live_time_pairs.append((record.prev_live_time, lt))
         if self._keep_generations:
             self.generations.append(record)
 

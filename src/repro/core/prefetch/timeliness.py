@@ -37,21 +37,45 @@ class _State:
     DISCARDED = 4
 
 
-@dataclass
 class PendingPrefetch:
-    """The in-flight prediction attached to one frame."""
+    """The in-flight prediction attached to one frame.
 
-    frame_key: int
-    target_block: int
-    armed_at: int
-    fire_at: int
-    state: int = _State.WAITING
-    issued_at: int = -1
-    arrived_at: int = -1
-    displaced_block: int = -1
-    #: Set when the displaced block missed again before resolution —
-    #: the prefetch displaced a live block.
-    early: bool = False
+    A plain slotted class rather than a dataclass: one is allocated per
+    scheduled prefetch and its fields are rewritten as the prediction
+    moves through the engine, so compact instances matter.
+    """
+
+    __slots__ = (
+        "frame_key",
+        "target_block",
+        "armed_at",
+        "fire_at",
+        "state",
+        "issued_at",
+        "arrived_at",
+        "displaced_block",
+        "early",
+    )
+
+    def __init__(self, frame_key: int, target_block: int, armed_at: int,
+                 fire_at: int) -> None:
+        self.frame_key = frame_key
+        self.target_block = target_block
+        self.armed_at = armed_at
+        self.fire_at = fire_at
+        self.state = _State.WAITING
+        self.issued_at = -1
+        self.arrived_at = -1
+        self.displaced_block = -1
+        #: Set when the displaced block missed again before resolution —
+        #: the prefetch displaced a live block.
+        self.early = False
+
+    def __repr__(self) -> str:
+        return (
+            f"PendingPrefetch(frame={self.frame_key}, target={self.target_block:#x}, "
+            f"state={self.state})"
+        )
 
 
 @dataclass
@@ -95,6 +119,8 @@ class TimelinessCounts:
 
 class PrefetchBookkeeper:
     """Tracks pending prefetches and resolves their classification."""
+
+    __slots__ = ("_pending", "_displaced", "counts", "superseded", "cancelled")
 
     def __init__(self) -> None:
         self._pending: Dict[int, PendingPrefetch] = {}

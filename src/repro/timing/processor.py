@@ -59,6 +59,7 @@ class TimingModel:
             raise SimulationError(f"instructions-per-access must be positive, got {ipa}")
         self.processor = processor
         self.ipa = ipa
+        self._mlp = processor.mlp
         self.compute_cycles = 0
         self.stall_cycles = 0
         self._breakdown: Dict[str, int] = {}
@@ -74,13 +75,19 @@ class TimingModel:
         exposed = latency - self.HIDDEN_LATENCY
         if exposed <= 0:
             return 0
-        return int(exposed / self.processor.mlp)
+        return int(exposed / self._mlp)
 
     def add_stall(self, latency: int, category: str) -> int:
-        """Charge a miss; returns the exposed stall added to the clock."""
-        stall = self.stall_for(latency)
+        """Charge a miss; returns the exposed stall added to the clock.
+
+        The :meth:`stall_for` formula is folded in: this runs once per
+        L1 miss and the extra call shows up in sweep throughput.
+        """
+        exposed = latency - self.HIDDEN_LATENCY
+        stall = int(exposed / self._mlp) if exposed > 0 else 0
         self.stall_cycles += stall
-        self._breakdown[category] = self._breakdown.get(category, 0) + stall
+        breakdown = self._breakdown
+        breakdown[category] = breakdown.get(category, 0) + stall
         return stall
 
     def add_fixed_stall(self, cycles: int, category: str) -> int:
@@ -101,9 +108,19 @@ class TimingModel:
         return max(1, self.compute_cycles + self.stall_cycles)
 
     def result(self) -> TimingResult:
-        """Finalize into a :class:`TimingResult`."""
+        """Finalize into a :class:`TimingResult`.
+
+        The reported fields are kept self-consistent: ``cycles`` always
+        equals ``compute_cycles + stall_cycles``.  When the issue-width
+        clamp raises the cycle count (the trace's gaps imply a higher
+        rate than the core can fetch), the extra cycles are issue-bound
+        *compute* time, so they are folded into ``compute_cycles`` —
+        otherwise stall fractions computed against ``cycles`` silently
+        over-count.
+        """
         instructions = int(self._accesses * self.ipa)
         cycles = self.cycles
+        compute_cycles = cycles - self.stall_cycles
         # Cap at the machine's issue width: a trace whose gaps imply a
         # higher rate than the core can sustain is clamped, mirroring
         # the fetch/issue bound of the real pipeline.
@@ -111,11 +128,12 @@ class TimingModel:
         max_ipc = float(self.processor.issue_width)
         if ipc > max_ipc:
             ipc = max_ipc
-            cycles = int(instructions / max_ipc)
+            cycles = max(cycles, int(instructions / max_ipc))
+            compute_cycles = cycles - self.stall_cycles
         return TimingResult(
             instructions=instructions,
             cycles=cycles,
-            compute_cycles=self.compute_cycles,
+            compute_cycles=compute_cycles,
             stall_cycles=self.stall_cycles,
             stall_breakdown=dict(self._breakdown),
             ipc=ipc,

@@ -1,0 +1,40 @@
+"""Regression: swapping the closed-generation callback is public API.
+
+The warm-up reset (`MemorySimulator._reset_stats`) replaces the metrics
+collector and must re-hook the generation tracker to the fresh one.  It
+used to assign the tracker's private `_on_generation` attribute
+directly; `GenerationTracker.set_on_generation()` makes the rewiring a
+supported operation.
+"""
+
+from repro.core.generations import GenerationTracker
+from repro.sim.simulator import MemorySimulator
+from repro.traces.workloads import build_workload
+
+
+def test_set_on_generation_replaces_callback():
+    tracker = GenerationTracker()
+    first, second = [], []
+    tracker.set_on_generation(first.append)
+    tracker.on_fill(0, 0x10, 5)
+    tracker.on_evict(0, 0x10, 5, 0, 20)
+    tracker.set_on_generation(second.append)
+    tracker.on_fill(0, 0x11, 25)
+    tracker.on_evict(0, 0x11, 25, 0, 40)
+    assert [r.block_addr for r in first] == [0x10]
+    assert [r.block_addr for r in second] == [0x11]
+    tracker.set_on_generation(None)
+    tracker.on_fill(0, 0x12, 45)
+    tracker.on_evict(0, 0x12, 45, 0, 60)
+    assert len(first) == 1 and len(second) == 1
+
+
+def test_warmup_reset_rehooks_fresh_metrics():
+    trace = build_workload("gcc", length=4_000)
+    sim = MemorySimulator(collect_metrics=True)
+    sim.run(trace, warmup=2_000)
+    # The post-warm-up metrics object (created by _reset_stats) must be
+    # the one receiving closed generations, and it must have seen the
+    # measured period's evictions.
+    assert sim.generations._on_generation == sim.metrics.on_generation
+    assert sim.metrics.total_generations > 0

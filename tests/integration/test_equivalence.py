@@ -1,0 +1,52 @@
+"""Differential equivalence: optimized hot path vs straightforward reference.
+
+The hot-path overhaul (O(1) tag store, inlined ``_consume``, slotted
+frames) must not change a single simulated number.  ``tools/equivalence.py``
+re-implements the L1, hierarchy fetch, and main loop in the plain
+call-everything style; this suite asserts both simulators produce
+bitwise-identical ``SimulationResult.to_dict()`` output (plus a metrics
+digest) for every workload in the suite under the default, victim-cache,
+prefetch, and decay configurations.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+import equivalence  # noqa: E402  (needs the sys.path insert above)
+
+LENGTH = 4_000
+
+
+@pytest.mark.parametrize("config_name", sorted(equivalence.CONFIGS))
+@pytest.mark.parametrize("workload", equivalence.DEFAULT_WORKLOADS)
+def test_bitwise_equivalence(workload, config_name):
+    fast, ref = equivalence.run_pair(workload, LENGTH, config_name)
+    diffs = list(equivalence._diff_keys(fast, ref))
+    assert not diffs, "\n".join(diffs)
+
+
+def test_iter_mismatches_empty_on_identical_runs():
+    cells = list(
+        equivalence.iter_mismatches(["gcc"], 1_000, ["default", "prefetch"])
+    )
+    assert cells == []
+
+
+def test_cli_reports_all_cells(capsys):
+    rc = equivalence.main(
+        ["--length", "1000", "--workloads", "gcc", "--configs", "default,decay"]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "all 2 cells bitwise-identical" in out
+
+
+def test_cli_rejects_unknown_config():
+    with pytest.raises(SystemExit):
+        equivalence.main(["--configs", "nonsense"])

@@ -1,0 +1,45 @@
+"""Regression: `TimingResult` stays self-consistent under the IPC clamp.
+
+When a trace's gaps imply an instruction rate above the core's issue
+width, `TimingModel.result()` clamps IPC and raises the cycle count.
+The raised cycles used to leave `compute_cycles` untouched, so
+`cycles != compute_cycles + stall_cycles` and stall fractions computed
+against `cycles` silently over-counted.  The extra issue-bound cycles
+are compute time; the result must reflect that.
+"""
+
+from repro.common.config import paper_machine
+from repro.timing.processor import TimingModel
+
+
+def _clamped_model():
+    # 10 accesses x 100 instructions each over ~10 compute cycles is far
+    # beyond an 8-wide core, so the clamp must engage.
+    tm = TimingModel(paper_machine().processor, ipa=100.0)
+    for _ in range(10):
+        tm.add_access(1)
+    tm.add_stall(100, "memory")
+    return tm
+
+
+def test_clamped_result_is_self_consistent():
+    tm = _clamped_model()
+    r = tm.result()
+    assert r.ipc == float(tm.processor.issue_width)
+    assert r.cycles == r.compute_cycles + r.stall_cycles
+    # The stall accounting is untouched by the clamp; only compute
+    # absorbs the issue-bound cycles.
+    assert r.stall_cycles == tm.stall_cycles
+    assert sum(r.stall_breakdown.values()) == r.stall_cycles
+    assert r.cycles >= int(r.instructions / r.ipc)
+
+
+def test_unclamped_result_invariant_holds():
+    tm = TimingModel(paper_machine().processor, ipa=1.0)
+    for _ in range(100):
+        tm.add_access(5)
+    tm.add_stall(40, "l2")
+    r = tm.result()
+    assert r.ipc < tm.processor.issue_width
+    assert r.cycles == r.compute_cycles + r.stall_cycles
+    assert r.compute_cycles == tm.compute_cycles
