@@ -1,0 +1,55 @@
+"""Microbenchmarks of trace synthesis and the trace cache.
+
+Not a paper figure: guards the vectorized-synthesis win (generator vs
+columnar engines) and warm trace-cache loads, so sweep-scale setup cost
+stays where BENCH_tracecache.json recorded it.
+"""
+
+import pytest
+
+from repro.traces.cache import TraceCache
+from repro.traces.workloads import build_workload
+
+LENGTH = 100_000
+
+
+def test_perf_vectorized_synthesis(benchmark):
+    def run():
+        return build_workload("gcc", length=LENGTH, engine="vectorized")
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(trace) == LENGTH
+    assert trace.columns_are_arrays
+
+
+def test_perf_generator_synthesis(benchmark):
+    def run():
+        return build_workload("gcc", length=LENGTH, engine="generator")
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(trace) == LENGTH
+
+
+def test_perf_warm_cache_load(benchmark, tmp_path):
+    cache = TraceCache(root=tmp_path / "traces")
+    cache.prewarm("gcc", LENGTH, 0)
+
+    def run():
+        return cache.get("gcc", LENGTH, 0)
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert trace is not None
+    assert len(trace) == LENGTH
+
+
+def test_perf_array_rows_consumption(benchmark):
+    trace = build_workload("gcc", length=LENGTH)
+
+    def run():
+        total = 0
+        for _addr, _pc, _kind, gap in trace.rows():
+            total += gap
+        return total
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert total == trace.total_gap_cycles

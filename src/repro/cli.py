@@ -9,6 +9,9 @@ Usage (installed as ``python -m repro``):
     python -m repro metrics ammp --length 60000
     python -m repro sweep --workloads all --configs base,victim_tk,pf_tk \\
         --workers 4 --store out.jsonl --resume
+    python -m repro trace build swim --length 60000
+    python -m repro trace inspect
+    python -m repro trace prewarm --workloads all --length 60000
 
 Exit code 0 on success; 1 when a sweep leaves failed cells; argument
 errors exit 2 (argparse convention).
@@ -25,6 +28,7 @@ from .common.config import paper_machine
 from .common.types import MissClass
 from .sim.runner import run_sweep
 from .sim.sweep import run_workload
+from .traces.cache import TraceCache, default_cache_root
 from .traces.workloads import SPEC2000, get_workload
 
 #: Named configurations accepted by ``compare --configs``.
@@ -99,7 +103,53 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="replay completed cells from --store, run the rest")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress on stderr")
+    _add_cache_args(sweep)
+
+    trace = sub.add_parser(
+        "trace",
+        help="manage the content-addressed trace cache")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    build = trace_sub.add_parser(
+        "build", help="materialize one workload trace into the cache")
+    _add_workload_args(build)
+    _add_cache_root_arg(build)
+
+    inspect = trace_sub.add_parser(
+        "inspect", help="list cache entries (or stats for one workload)")
+    inspect.add_argument("workload", nargs="?", default=None,
+                         help="only show entries for this workload")
+    _add_cache_root_arg(inspect)
+
+    prewarm = trace_sub.add_parser(
+        "prewarm", help="materialize traces for a coming sweep")
+    prewarm.add_argument("--workloads", default="all",
+                         help="'all' or comma-separated names (see `list`)")
+    prewarm.add_argument("--length", type=int, default=60_000,
+                         help="measured accesses per cell (default 60000)")
+    prewarm.add_argument("--warmup", type=int, default=None,
+                         help="warm-up accesses (default: length/3)")
+    prewarm.add_argument("--seed", type=int, default=0)
+    _add_cache_root_arg(prewarm)
+
+    clear = trace_sub.add_parser("clear", help="delete every cache entry")
+    _add_cache_root_arg(clear)
     return parser
+
+
+def _add_cache_root_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--cache-root", default=None, metavar="DIR",
+        help="trace-cache directory (default: $REPRO_TRACE_CACHE or "
+             "~/.cache/repro/traces)")
+
+
+def _add_cache_args(sub: argparse.ArgumentParser) -> None:
+    _add_cache_root_arg(sub)
+    sub.add_argument(
+        "--no-trace-cache", action="store_true",
+        help="disable the trace cache (re-synthesize per cell, the "
+             "pre-cache behavior)")
 
 
 def _add_workload_args(sub: argparse.ArgumentParser) -> None:
@@ -219,6 +269,11 @@ def _cmd_sweep(args, out) -> int:
     if not args.quiet:
         def progress(workload: str, config: str) -> None:
             print(f"running {workload}:{config}", file=sys.stderr)
+    trace_cache: object = True
+    if args.no_trace_cache:
+        trace_cache = False
+    elif args.cache_root:
+        trace_cache = args.cache_root
     report = run_sweep(
         configs,
         workloads=workloads,
@@ -231,6 +286,7 @@ def _cmd_sweep(args, out) -> int:
         store=args.store,
         resume=args.resume,
         progress=progress,
+        trace_cache=trace_cache,
     )
     rows = []
     for workload in workloads:
@@ -258,6 +314,69 @@ def _cmd_sweep(args, out) -> int:
     return 1 if report.failures else 0
 
 
+def _trace_cache_from(args) -> TraceCache:
+    root = args.cache_root if args.cache_root else default_cache_root()
+    return TraceCache(root=root)
+
+
+def _resolve_workload_list(spec: str) -> List[str]:
+    if spec.strip() == "all":
+        return list(SPEC2000)
+    return [w.strip() for w in spec.split(",") if w.strip()]
+
+
+def _cmd_trace(args, out) -> int:
+    cache = _trace_cache_from(args)
+    if args.trace_command == "build":
+        warmup = args.warmup if args.warmup is not None else args.length // 3
+        total = args.length + warmup
+        get_workload(args.workload)  # fail fast with a clean error
+        built = cache.prewarm(args.workload, total, args.seed)
+        trace = cache.get(args.workload, total, args.seed)
+        state = "built" if built else "already cached"
+        print(f"{args.workload}: {state} ({len(trace)} accesses, "
+              f"{trace.footprint_blocks(64)} 64B blocks) in {cache.root}", file=out)
+        return 0
+    if args.trace_command == "inspect":
+        rows = []
+        for key, meta in cache.entries():
+            workload = meta.get("workload", "?")
+            if args.workload and workload != args.workload:
+                continue
+            rows.append([
+                key,
+                workload,
+                str(meta.get("length", "?")),
+                str(meta.get("seed", "?")),
+                str(meta.get("generator_version", "?")),
+            ])
+        if not rows:
+            print(f"no cache entries in {cache.root}", file=out)
+            return 0
+        print(format_table(["key", "workload", "length", "seed", "gen"], rows,
+                           title=f"trace cache: {cache.root}"), file=out)
+        return 0
+    if args.trace_command == "prewarm":
+        workloads = _resolve_workload_list(args.workloads)
+        warmup = args.warmup if args.warmup is not None else args.length // 3
+        total = args.length + warmup
+        for name in workloads:
+            get_workload(name)
+        built = 0
+        for name in workloads:
+            if cache.prewarm(name, total, args.seed):
+                built += 1
+                print(f"built {name}", file=sys.stderr)
+        print(f"{built} built, {len(workloads) - built} already cached "
+              f"in {cache.root}", file=out)
+        return 0
+    if args.trace_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entries from {cache.root}", file=out)
+        return 0
+    return 2  # pragma: no cover — argparse enforces the choices
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -275,6 +394,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_metrics(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
     except Exception as exc:  # surfaced as a clean CLI error
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -57,6 +57,7 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from ..common.config import MachineConfig, config_digest, paper_machine
 from ..common.errors import CellTimeoutError, ReproError, SimulationError
+from ..traces.cache import TraceCache, resolve_cache
 from ..traces.workloads import SPEC2000, get_workload
 from .results import SimulationResult
 from .store import CellKey, RunStore
@@ -92,6 +93,9 @@ class CellSpec:
     seed: int
     warmup: int
     machine: Optional[MachineConfig] = None
+    #: Trace-cache root (str — picklable across spawn), or None to
+    #: synthesize in the worker.
+    trace_cache: Optional[str] = None
 
     @property
     def key(self) -> CellKey:
@@ -179,9 +183,20 @@ class SweepReport:
 def _execute_cell(
     spec: CellSpec, fault_hook: Optional[FaultHook], attempt: int
 ) -> SimulationResult:
-    """Build the cell's trace and simulate it (runs in the worker)."""
+    """Materialize the cell's trace and simulate it (runs in the worker).
+
+    With a trace cache configured the trace is served mmap-backed from
+    the parent's prewarmed entry — retries and sibling cells share one
+    materialization.  Without one (``trace_cache=False``) it is
+    synthesized here, once per cell attempt, as before.
+    """
     workload = get_workload(spec.workload)
-    trace = workload.build(length=spec.length + spec.warmup, seed=spec.seed)
+    total = spec.length + spec.warmup
+    if spec.trace_cache is not None:
+        cache = TraceCache(root=spec.trace_cache)
+        trace = cache.get_or_build(spec.workload, total, spec.seed)
+    else:
+        trace = workload.build(length=total, seed=spec.seed)
     if fault_hook is not None:
         fault_hook(spec.workload, spec.config_name, attempt)
     kwargs = dict(spec.config)
@@ -549,6 +564,7 @@ def run_sweep(
     store: Optional[Union[RunStore, str, "os.PathLike[str]"]] = None,
     resume: bool = False,
     fault_hook: Optional[FaultHook] = None,
+    trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = True,
 ) -> SweepReport:
     """Run a workload×config sweep fault-tolerantly.
 
@@ -572,6 +588,15 @@ def run_sweep(
             cells are replayed from disk instead of re-executed.
         resume: allow continuing into an existing, compatible store.
         fault_hook: test/chaos hook run in the worker before simulation.
+        trace_cache: content-addressed trace cache shared by all cells.
+            ``True`` (default) uses the default root (see
+            :func:`repro.traces.cache.default_cache_root`), a path uses
+            that root, a :class:`TraceCache` is used as-is, and
+            ``False`` disables caching (every cell attempt re-synthesizes
+            its trace in the worker, the pre-cache behavior).  With a
+            cache, each workload's trace is materialized at most once per
+            sweep — prewarmed in the parent, then served mmap-backed to
+            every worker, cell, and retry.
 
     Returns:
         A :class:`SweepReport`; failed cells appear in ``report.failures``
@@ -589,6 +614,18 @@ def run_sweep(
     for name in names:
         get_workload(name)  # fail fast on unknown workloads
     resolved_warmup = length // 3 if warmup is None else warmup
+
+    cache = resolve_cache(trace_cache)
+    cache_root: Optional[str] = None
+    if cache is not None:
+        # Materialize each workload's trace exactly once, in the parent,
+        # before any cell runs: workers then mmap the shared entries
+        # instead of re-synthesizing per cell×retry.
+        total = length + resolved_warmup
+        for name in names:
+            cache.prewarm(name, total, seed)
+        cache_root = os.fspath(cache.root)
+
     cells = [
         CellSpec(
             workload=name,
@@ -598,6 +635,7 @@ def run_sweep(
             seed=seed,
             warmup=resolved_warmup,
             machine=machine,
+            trace_cache=cache_root,
         )
         for name in names
         for config_name, config in configs.items()

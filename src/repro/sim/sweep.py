@@ -13,6 +13,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from ..common.config import MachineConfig
 from ..common.errors import SimulationError
+from ..traces.cache import TraceCache, resolve_cache
 from ..traces.trace import Trace
 from ..traces.workloads import SPEC2000, get_workload
 from .results import SimulationResult
@@ -32,18 +33,26 @@ def run_workload(
     seed: int = 0,
     machine: Optional[MachineConfig] = None,
     warmup: Optional[int] = None,
+    trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = False,
 ) -> Dict[str, SimulationResult]:
     """Run one SPEC2000 stand-in under every named configuration.
 
-    Returns ``{config_name: result}``.  The trace is built once; the
-    workload's instructions-per-access ratio feeds the IPC model.
+    Returns ``{config_name: result}``.  The trace is materialized once;
+    the workload's instructions-per-access ratio feeds the IPC model.
     *warmup* defaults to one third of the trace (statistics measure the
     warm remainder, as in the paper's skip-then-measure methodology).
+    *trace_cache* optionally serves the trace from (and persists it to)
+    a content-addressed cache — ``True`` for the default root, a path or
+    :class:`TraceCache` for a specific one.
     """
     spec = get_workload(name)
     if warmup is None:
         warmup = length // 3
-    trace = spec.build(length=length + warmup, seed=seed)
+    cache = resolve_cache(trace_cache)
+    if cache is not None:
+        trace = cache.get_or_build(name, length + warmup, seed)
+    else:
+        trace = spec.build(length=length + warmup, seed=seed)
     results: Dict[str, SimulationResult] = {}
     for config_name, config in configs.items():
         kwargs = dict(config)
@@ -69,6 +78,7 @@ def run_suite(
     retries: int = 0,
     store: Optional[Union[RunStore, str, "os.PathLike[str]"]] = None,
     resume: bool = False,
+    trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = True,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run many workloads under many configurations.
 
@@ -86,6 +96,11 @@ def run_suite(
     - ``store`` / ``resume``: checkpoint cells to a JSONL file and
       replay completed ones on a re-run.
 
+    ``trace_cache`` (default on) shares one content-addressed, on-disk
+    materialization of each workload trace across configurations,
+    worker processes, retries, and repeated sweeps; pass ``False`` to
+    re-synthesize per workload as before.
+
     On the delegated path every remaining cell still completes when
     some cells fail, and the failures are raised *at the end* as one
     :class:`SimulationError` (after checkpointing).  Use ``run_sweep``
@@ -99,7 +114,8 @@ def run_suite(
             if progress is not None:
                 progress(name)
             out[name] = run_workload(
-                name, configs, length=length, seed=seed, machine=machine, warmup=warmup
+                name, configs, length=length, seed=seed, machine=machine,
+                warmup=warmup, trace_cache=trace_cache,
             )
         return out
 
@@ -127,6 +143,7 @@ def run_suite(
         retries=retries,
         store=store,
         resume=resume,
+        trace_cache=trace_cache,
     )
     report.raise_on_failure()
     return report.results

@@ -1,13 +1,18 @@
-"""Trace generation substrate: container, kernels, SPEC2000 stand-ins, I/O."""
+"""Trace generation substrate: container, kernels, SPEC2000 stand-ins,
+cache, I/O."""
 
 from . import kernels, trace_io
+from .cache import TraceCache, default_cache_root, resolve_cache, trace_key
 from .trace import Trace, TraceBuilder, TraceRow
 from .workloads import (
     BEST_PERFORMERS,
+    GENERATOR_VERSION,
     SPEC2000,
     WorkloadSpec,
+    add_synthesis_listener,
     build_workload,
     get_workload,
+    remove_synthesis_listener,
     workload_names,
 )
 
@@ -17,10 +22,17 @@ __all__ = [
     "Trace",
     "TraceBuilder",
     "TraceRow",
+    "TraceCache",
+    "default_cache_root",
+    "resolve_cache",
+    "trace_key",
     "BEST_PERFORMERS",
+    "GENERATOR_VERSION",
     "SPEC2000",
     "WorkloadSpec",
+    "add_synthesis_listener",
     "build_workload",
     "get_workload",
+    "remove_synthesis_listener",
     "workload_names",
 ]

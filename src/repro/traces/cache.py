@@ -1,0 +1,285 @@
+"""Content-addressed trace cache.
+
+Synthesizing a workload trace is deterministic in (workload name,
+length, seed, generator version) — so a sweep never needs to do it more
+than once per workload, and repeated sweeps never need to do it at all.
+This module persists materialized traces under a digest of exactly that
+recipe and serves them back as mmap-backed arrays: workers across a
+sweep (and across sweeps) share one on-disk materialization, loaded
+zero-copy.
+
+Layout of one entry (``<root>/<key>/``)::
+
+    meta.json        recipe, column digests, length — the commit point
+    addresses.npy    int64 column        (written before meta, mmapped
+    pcs.npy          int64 column         read-only on load)
+    kinds.npy        int8  column
+    gaps.npy         int32 column
+
+Integrity: ``meta.json`` records a sha256 digest of each column file.
+On load, any defect — missing/truncated/corrupt column, digest
+mismatch, stale generator version, recipe mismatch (a digest collision
+or a hand-edited entry) — makes the entry a *miss*: it is discarded and
+rebuilt, never silently served.  Writes go through a temp directory and
+``os.replace`` per file with ``meta.json`` renamed last, so concurrent
+writers of the same key are safe (they write identical bytes) and a
+crashed writer leaves no visible entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..common.errors import TraceError
+from .trace import COLUMN_DTYPES, Trace
+from .workloads import GENERATOR_VERSION, build_workload
+
+#: Environment variable overriding the default cache root.
+CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
+
+#: Bumped when the on-disk entry layout changes (distinct from
+#: GENERATOR_VERSION, which tracks the synthesis pipelines).
+CACHE_FORMAT = 1
+
+_COLUMN_FILES = ("addresses.npy", "pcs.npy", "kinds.npy", "gaps.npy")
+
+
+def default_cache_root() -> Path:
+    """The cache directory: ``$REPRO_TRACE_CACHE`` or ``~/.cache/repro/traces``."""
+    env = os.environ.get(CACHE_ENV_VAR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "traces"
+
+
+def trace_key(workload: str, length: int, seed: int,
+              generator_version: int = GENERATOR_VERSION) -> str:
+    """Content address of a trace recipe.
+
+    The key is a digest of everything that determines the trace's bytes:
+    workload name, length, seed, and the synthesis-pipeline version.
+    """
+    recipe = f"{CACHE_FORMAT}:{workload}:{length}:{seed}:{generator_version}"
+    return hashlib.sha256(recipe.encode()).hexdigest()[:24]
+
+
+def _file_digest(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as f:
+        for chunk in iter(lambda: f.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+@dataclass
+class TraceCache:
+    """A directory of content-addressed trace materializations.
+
+    Args:
+        root: Cache directory (created lazily on first write).
+        verify: Check column digests on every load.  Costs one linear
+            hash pass per load; turn off only for trusted local roots.
+
+    ``hits``/``misses`` count :meth:`get` outcomes — every kind of
+    validation failure is a miss.
+    """
+
+    root: Path = field(default_factory=default_cache_root)
+    verify: bool = True
+    hits: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, workload: str, length: int, seed: int) -> Optional[Trace]:
+        """Load a cached trace, or None if absent/invalid (a miss)."""
+        key = trace_key(workload, length, seed)
+        entry = self.root / key
+        meta = self._load_valid_meta(entry, workload, length, seed)
+        if meta is None:
+            self.misses += 1
+            return None
+        columns = []
+        for fname, dtype, digest in zip(_COLUMN_FILES, COLUMN_DTYPES, meta["digests"]):
+            path = entry / fname
+            if self.verify:
+                try:
+                    if _file_digest(path) != digest:
+                        self.misses += 1
+                        return None
+                except OSError:
+                    self.misses += 1
+                    return None
+            try:
+                col = np.load(path, mmap_mode="r", allow_pickle=False)
+            except (OSError, ValueError):
+                self.misses += 1
+                return None
+            if col.dtype != dtype or col.ndim != 1 or col.shape[0] != length:
+                self.misses += 1
+                return None
+            columns.append(col)
+        self.hits += 1
+        return Trace(*columns, name=workload, total_gap=meta.get("total_gap"))
+
+    def _load_valid_meta(self, entry: Path, workload: str, length: int,
+                         seed: int) -> Optional[dict]:
+        try:
+            with open(entry / "meta.json", "r", encoding="utf-8") as f:
+                meta = json.load(f)
+        except (OSError, ValueError):
+            return None
+        if (
+            not isinstance(meta, dict)
+            or meta.get("format") != CACHE_FORMAT
+            or meta.get("generator_version") != GENERATOR_VERSION
+            or meta.get("workload") != workload
+            or meta.get("length") != length
+            or meta.get("seed") != seed
+            or not isinstance(meta.get("digests"), list)
+            or len(meta["digests"]) != len(_COLUMN_FILES)
+        ):
+            return None
+        return meta
+
+    # -- store --------------------------------------------------------------
+
+    def put(self, trace: Trace, workload: str, length: int, seed: int) -> Path:
+        """Persist a materialized trace; returns the entry directory."""
+        if len(trace) != length:
+            raise TraceError(
+                f"trace length {len(trace)} does not match recipe length {length}"
+            )
+        key = trace_key(workload, length, seed)
+        entry = self.root / key
+        self.root.mkdir(parents=True, exist_ok=True)
+        arrays = trace.to_arrays()
+        tmpdir = Path(tempfile.mkdtemp(dir=self.root, prefix=f".{key}."))
+        try:
+            digests = []
+            for fname, arr in zip(_COLUMN_FILES, arrays):
+                path = tmpdir / fname
+                with open(path, "wb") as f:
+                    np.save(f, np.ascontiguousarray(arr))
+                digests.append(_file_digest(path))
+            meta = {
+                "format": CACHE_FORMAT,
+                "generator_version": GENERATOR_VERSION,
+                "workload": workload,
+                "length": length,
+                "seed": seed,
+                "total_gap": trace.total_gap_cycles,
+                "digests": digests,
+            }
+            with open(tmpdir / "meta.json", "w", encoding="utf-8") as f:
+                json.dump(meta, f, indent=1)
+            entry.mkdir(exist_ok=True)
+            for fname in _COLUMN_FILES:  # meta.json last: it's the commit point
+                os.replace(tmpdir / fname, entry / fname)
+            os.replace(tmpdir / "meta.json", entry / "meta.json")
+        finally:
+            _rmtree_quiet(tmpdir)
+        return entry
+
+    def get_or_build(
+        self,
+        workload: str,
+        length: int,
+        seed: int,
+        builder: Optional[Callable[[], Trace]] = None,
+    ) -> Trace:
+        """The main entry point: cached trace, or build + persist + reload.
+
+        The freshly built trace is persisted and then *re-loaded from
+        the cache* so callers always get the same mmap-backed form warm
+        and cold.  If the cache directory is unusable (read-only FS,
+        quota), falls back to returning the built trace directly —
+        caching degrades, correctness doesn't.
+        """
+        cached = self.get(workload, length, seed)
+        if cached is not None:
+            return cached
+        if builder is None:
+            trace = build_workload(workload, length=length, seed=seed)
+        else:
+            trace = builder()
+        try:
+            self.put(trace, workload, length, seed)
+        except OSError:
+            return trace
+        reloaded = self.get(workload, length, seed)
+        return reloaded if reloaded is not None else trace
+
+    def prewarm(self, workload: str, length: int, seed: int) -> bool:
+        """Ensure an entry exists; True if it had to be built."""
+        if self.get(workload, length, seed) is not None:
+            return False
+        self.get_or_build(workload, length, seed)
+        return True
+
+    # -- maintenance --------------------------------------------------------
+
+    def entries(self) -> Iterator[Tuple[str, dict]]:
+        """Yield (key, meta) for every readable entry under the root."""
+        if not self.root.is_dir():
+            return
+        for child in sorted(self.root.iterdir()):
+            if not child.is_dir() or child.name.startswith("."):
+                continue
+            try:
+                with open(child / "meta.json", "r", encoding="utf-8") as f:
+                    meta = json.load(f)
+            except (OSError, ValueError):
+                meta = {}
+            yield child.name, meta
+
+    def remove(self, workload: str, length: int, seed: int) -> bool:
+        """Delete one entry; True if it existed."""
+        entry = self.root / trace_key(workload, length, seed)
+        if not entry.is_dir():
+            return False
+        _rmtree_quiet(entry)
+        return True
+
+    def clear(self) -> int:
+        """Delete every entry under the root; returns the count removed."""
+        count = 0
+        if not self.root.is_dir():
+            return count
+        for child in list(self.root.iterdir()):
+            if child.is_dir():
+                _rmtree_quiet(child)
+                count += 1
+        return count
+
+
+def _rmtree_quiet(path: Path) -> None:
+    import shutil
+
+    shutil.rmtree(path, ignore_errors=True)
+
+
+def resolve_cache(cache: Union[bool, str, Path, TraceCache, None]) -> Optional[TraceCache]:
+    """Coerce the user-facing ``trace_cache`` knob to a cache instance.
+
+    True/None → default root; a path → cache at that root; False → no
+    caching; an existing :class:`TraceCache` passes through.
+    """
+    if cache is False:
+        return None
+    if cache is True or cache is None:
+        return TraceCache()
+    if isinstance(cache, TraceCache):
+        return cache
+    return TraceCache(root=Path(cache))

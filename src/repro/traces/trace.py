@@ -2,14 +2,18 @@
 
 A :class:`Trace` is the unit of work fed to the simulator: a flat,
 memory-efficient sequence of (address, pc, kind, gap) records.  Columns
-are stored as parallel Python lists — the simulator's hot loop iterates
-them zipped, which measures faster than constructing a dataclass per
-access — with numpy export for analysis.
+are stored either as parallel Python lists (the :class:`TraceBuilder`
+path, still the right shape for small hand-written traces) or as
+parallel numpy arrays (the vectorized synthesis and trace-cache paths).
+Both modes feed the simulator's hot loop through :meth:`Trace.rows`,
+which yields plain-``int`` tuples: array columns are iterated through
+``memoryview`` objects, so mmap-backed cache entries are consumed
+zero-copy without a ``.tolist()`` materialization.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -19,23 +23,43 @@ from ..common.types import AccessType, MemoryAccess
 #: Row tuple yielded by :meth:`Trace.rows`: (address, pc, kind, gap).
 TraceRow = Tuple[int, int, int, int]
 
+#: A trace column: list of ints (builder mode) or 1-D numpy array.
+Column = Union[List[int], np.ndarray]
+
+#: Canonical dtypes of array-backed columns, in (addresses, pcs, kinds,
+#: gaps) order.  Shared with trace_io and the trace cache so on-disk
+#: layouts and in-memory traces agree.
+COLUMN_DTYPES = (np.int64, np.int64, np.int8, np.int32)
+
 
 class Trace:
     """An immutable-ish sequence of memory accesses.
 
-    Build one with :class:`TraceBuilder` or :meth:`Trace.from_accesses`.
+    Build one with :class:`TraceBuilder`, :meth:`Trace.from_accesses`,
+    or hand the constructor four parallel columns.  If any column is a
+    numpy array the trace is *array-backed*: every column is normalized
+    to a C-contiguous array of its canonical dtype (zero-copy when it
+    already is one, as for mmap-backed cache loads) and row iteration
+    goes through buffer views instead of list zips.
     """
 
-    __slots__ = ("addresses", "pcs", "kinds", "gaps", "name")
+    __slots__ = ("addresses", "pcs", "kinds", "gaps", "name", "_total_gap")
 
     def __init__(
         self,
-        addresses: List[int],
-        pcs: List[int],
-        kinds: List[int],
-        gaps: List[int],
+        addresses: Column,
+        pcs: Column,
+        kinds: Column,
+        gaps: Column,
         name: str = "trace",
+        *,
+        total_gap: Optional[int] = None,
     ) -> None:
+        columns = (addresses, pcs, kinds, gaps)
+        if any(isinstance(col, np.ndarray) for col in columns):
+            addresses, pcs, kinds, gaps = (
+                _as_column(col, dtype) for col, dtype in zip(columns, COLUMN_DTYPES)
+            )
         lengths = {len(addresses), len(pcs), len(kinds), len(gaps)}
         if len(lengths) != 1:
             raise TraceError(f"column lengths differ: {sorted(lengths)}")
@@ -44,6 +68,7 @@ class Trace:
         self.kinds = kinds
         self.gaps = gaps
         self.name = name
+        self._total_gap = total_gap
 
     @classmethod
     def from_accesses(cls, accesses: Iterable[MemoryAccess], name: str = "trace") -> "Trace":
@@ -53,6 +78,11 @@ class Trace:
             builder.add(acc.address, pc=acc.pc, kind=acc.kind, gap=acc.gap)
         return builder.build()
 
+    @property
+    def columns_are_arrays(self) -> bool:
+        """Whether columns are numpy arrays (vs Python lists)."""
+        return isinstance(self.addresses, np.ndarray)
+
     def __len__(self) -> int:
         return len(self.addresses)
 
@@ -61,18 +91,45 @@ class Trace:
             yield MemoryAccess(addr, pc=pc, kind=AccessType(kind), gap=gap)
 
     def rows(self) -> Iterator[TraceRow]:
-        """Iterate raw (address, pc, kind, gap) tuples — the fast path."""
+        """Iterate raw (address, pc, kind, gap) tuples — the fast path.
+
+        Always yields plain Python ints: array-backed columns are read
+        through ``memoryview``s (zero-copy, works on read-only mmaps),
+        list-backed ones are zipped directly.
+        """
+        if isinstance(self.addresses, np.ndarray):
+            return zip(
+                memoryview(self.addresses),
+                memoryview(self.pcs),
+                memoryview(self.kinds),
+                memoryview(self.gaps),
+            )
         return zip(self.addresses, self.pcs, self.kinds, self.gaps)
 
     def __getitem__(self, i: int) -> MemoryAccess:
         return MemoryAccess(
-            self.addresses[i], pc=self.pcs[i], kind=AccessType(self.kinds[i]), gap=self.gaps[i]
+            int(self.addresses[i]),
+            pc=int(self.pcs[i]),
+            kind=AccessType(int(self.kinds[i])),
+            gap=int(self.gaps[i]),
         )
 
     @property
     def total_gap_cycles(self) -> int:
-        """Sum of compute gaps — the trace's stall-free cycle count."""
-        return sum(self.gaps)
+        """Sum of compute gaps — the trace's stall-free cycle count.
+
+        Memoized: synthesis and cache loads pass the precomputed sum in,
+        and the first on-demand computation is cached.
+        """
+        total = self._total_gap
+        if total is None:
+            gaps = self.gaps
+            if isinstance(gaps, np.ndarray):
+                total = int(gaps.sum(dtype=np.int64))
+            else:
+                total = sum(gaps)
+            self._total_gap = total
+        return total
 
     def without_software_prefetches(self) -> "Trace":
         """Return a copy with SW_PREFETCH records dropped.
@@ -123,16 +180,31 @@ class Trace:
 
     def concatenated(self, other: "Trace", name: Optional[str] = None) -> "Trace":
         """Return self followed by *other*."""
+        joined_name = name or f"{self.name}+{other.name}"
+        if self.columns_are_arrays or other.columns_are_arrays:
+            columns = [
+                np.concatenate([_as_column(a, dtype), _as_column(b, dtype)])
+                for a, b, dtype in zip(
+                    (self.addresses, self.pcs, self.kinds, self.gaps),
+                    (other.addresses, other.pcs, other.kinds, other.gaps),
+                    COLUMN_DTYPES,
+                )
+            ]
+            return Trace(*columns, name=joined_name)
         return Trace(
             self.addresses + other.addresses,
             self.pcs + other.pcs,
             self.kinds + other.kinds,
             self.gaps + other.gaps,
-            name=name or f"{self.name}+{other.name}",
+            name=joined_name,
         )
 
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Export columns as numpy arrays (addresses, pcs, kinds, gaps)."""
+        """Export columns as numpy arrays (addresses, pcs, kinds, gaps).
+
+        Array-backed traces return their columns directly (views, not
+        copies); treat the result as read-only.
+        """
         return (
             np.asarray(self.addresses, dtype=np.int64),
             np.asarray(self.pcs, dtype=np.int64),
@@ -143,10 +215,19 @@ class Trace:
     def footprint_blocks(self, block_size: int) -> int:
         """Number of distinct *block_size*-byte blocks touched."""
         shift = block_size.bit_length() - 1
+        if isinstance(self.addresses, np.ndarray):
+            return int(np.unique(self.addresses >> shift).size)
         return len({a >> shift for a in self.addresses})
 
     def __repr__(self) -> str:
-        return f"Trace(name={self.name!r}, length={len(self)})"
+        mode = "arrays" if self.columns_are_arrays else "lists"
+        return f"Trace(name={self.name!r}, length={len(self)}, columns={mode})"
+
+
+def _as_column(col: Sequence[int], dtype) -> np.ndarray:
+    """Normalize one column to a C-contiguous array of its canonical
+    dtype (no copy when it already is one — the mmap zero-copy path)."""
+    return np.ascontiguousarray(col, dtype=dtype)
 
 
 class TraceBuilder:
@@ -185,4 +266,5 @@ class TraceBuilder:
         return Trace(
             list(self._addresses), list(self._pcs), list(self._kinds), list(self._gaps),
             name=self.name,
+            total_gap=sum(self._gaps),
         )

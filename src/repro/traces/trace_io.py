@@ -27,24 +27,47 @@ _FORMAT_VERSION = 1
 _VALID_KINDS = frozenset(int(kind) for kind in AccessType)
 
 
+def _binary_path(path: PathLike) -> str:
+    """Normalize a binary-trace path to carry the ``.npz`` suffix.
+
+    ``np.savez_compressed`` silently appends ``.npz`` to a bare path, so
+    without normalization ``save_binary(t, "x")`` would write ``x.npz``
+    while ``load_binary("x")`` looked for ``x``.  Both directions
+    normalize through this helper, so suffixed and unsuffixed spellings
+    of the same path refer to the same file.
+    """
+    p = os.fspath(path)
+    return p if p.endswith(".npz") else p + ".npz"
+
+
 def save_binary(trace: Trace, path: PathLike) -> None:
-    """Write *trace* to *path* as compressed npz."""
+    """Write *trace* to *path* as compressed npz.
+
+    A missing ``.npz`` suffix is added (matching numpy's own behavior,
+    but explicitly — see :func:`_binary_path`).
+    """
     addresses, pcs, kinds, gaps = trace.to_arrays()
-    np.savez_compressed(
-        path,
-        version=np.int64(_FORMAT_VERSION),
-        name=np.bytes_(trace.name.encode("utf-8")),
-        addresses=addresses,
-        pcs=pcs,
-        kinds=kinds,
-        gaps=gaps,
-    )
+    with open(_binary_path(path), "wb") as fh:
+        np.savez_compressed(
+            fh,
+            version=np.int64(_FORMAT_VERSION),
+            name=np.bytes_(trace.name.encode("utf-8")),
+            addresses=addresses,
+            pcs=pcs,
+            kinds=kinds,
+            gaps=gaps,
+        )
 
 
 def load_binary(path: PathLike) -> Trace:
-    """Load a trace previously written by :func:`save_binary`."""
+    """Load a trace previously written by :func:`save_binary`.
+
+    Accepts the path with or without its ``.npz`` suffix and returns an
+    *array-backed* trace: columns stay numpy arrays end to end (the
+    simulator consumes them without a ``.tolist()`` round-trip).
+    """
     try:
-        with np.load(path) as data:
+        with np.load(_binary_path(path), allow_pickle=False) as data:
             version = int(data["version"])
             if version != _FORMAT_VERSION:
                 raise TraceError(f"unsupported trace format version {version}")
@@ -58,10 +81,10 @@ def load_binary(path: PathLike) -> Trace:
                     f"corrupt trace {os.fspath(path)}: column lengths differ ({detail})"
                 )
             return Trace(
-                columns["addresses"].tolist(),
-                columns["pcs"].tolist(),
-                columns["kinds"].tolist(),
-                columns["gaps"].tolist(),
+                columns["addresses"],
+                columns["pcs"],
+                columns["kinds"],
+                columns["gaps"],
                 name=bytes(data["name"]).decode("utf-8"),
             )
     except (OSError, KeyError, ValueError) as exc:

@@ -18,6 +18,21 @@ Every stand-in is deterministic given (length, seed).  The
 :data:`SPEC2000` registry lists them in the paper's Figure-1 order
 (left = least memory-bound, right = most potential speedup).
 
+Each workload is a declarative *plan* — a :class:`Kernel` or a
+:class:`Mix` of kernels — that materializes through one of two engines:
+
+- ``generator``: the original per-row iterator pipeline
+  (:func:`repro.traces.kernels.interleave` over kernel generators fed
+  into a :class:`~repro.traces.trace.TraceBuilder`);
+- ``vectorized`` (the default): numpy columnar synthesis
+  (:data:`repro.traces.kernels.COLUMNAR`), which emits bitwise-identical
+  columns an order of magnitude faster and returns an array-backed
+  :class:`~repro.traces.trace.Trace`.
+
+Both engines share one plan object, so they cannot structurally drift;
+the bitwise equivalence itself is pinned by
+``tests/traces/test_vectorized_equivalence.py``.
+
 Address map: each kernel gets its own 16MB-aligned region so distinct
 data structures never overlap, while still colliding freely in the 32KB
 L1 (whose index uses address bits 5..14).
@@ -26,14 +41,22 @@ L1 (whose index uses address bits 5..14).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
 
 from ..common.errors import TraceError
-from ..common.rng import derive_seed
+from ..common.rng import derive_seed, make_rng
 from ..common.types import KB, MB
 from . import kernels
-from .kernels import Row, take
+from .kernels import Columns, Row, take
 from .trace import Trace, TraceBuilder
+
+#: Version stamp of the synthesis pipelines.  Part of every trace-cache
+#: key: bump it whenever a change to the kernels, the workload plans, or
+#: the seeding scheme alters the emitted columns, so stale cache entries
+#: are rebuilt instead of silently served.
+GENERATOR_VERSION = 2
 
 #: Spacing between kernel data regions.  Generous (a quarter GB) so
 #: sparse structures can spread over a realistic virtual-address range:
@@ -61,6 +84,134 @@ def _conflict_set(region_index: int, num_ways: int, *, set_offset: int = 0x40) -
     return [base + way * 32 * KB for way in range(num_ways)]
 
 
+# ---------------------------------------------------------------------------
+# Declarative synthesis plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One kernel invocation, runnable through either engine."""
+
+    generator: Callable[..., Iterator[Row]]
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def rows(self) -> Iterator[Row]:
+        """The endless row generator (original engine)."""
+        return self.generator(*self.args, **self.kwargs)
+
+    def columns(self, n: int) -> Columns:
+        """The kernel's first *n* rows as numpy columns."""
+        return kernels.columns_for(self.generator)(n, *self.args, **self.kwargs)
+
+
+@dataclass(frozen=True)
+class Mix:
+    """Burst-interleaved composition of kernels (see
+    :func:`repro.traces.kernels.interleave`)."""
+
+    kernels: Tuple[Kernel, ...]
+    weights: Tuple[float, ...]
+    seed: int
+    burst: int = 16
+
+    def rows(self) -> Iterator[Row]:
+        return kernels.interleave(
+            [k.rows() for k in self.kernels],
+            list(self.weights),
+            seed=self.seed,
+            burst=self.burst,
+        )
+
+    def columns(self, n: int) -> Columns:
+        """Vectorized interleave: same burst schedule, scattered columns.
+
+        Replays :func:`~repro.traces.kernels.interleave`'s exact RNG
+        draws (one ``random()`` per started burst against the same
+        cumulative-weight edges), then asks each kernel for exactly the
+        rows its bursts consume and scatters them into place.
+        """
+        if len(self.kernels) != len(self.weights):
+            raise ValueError("sources and weights must have equal length")
+        if not self.kernels:
+            raise ValueError("need at least one source")
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        burst = self.burst
+        n_bursts = -(-n // burst)
+        rng = make_rng(self.seed, "interleave")
+        random_draw = rng.random
+        # float64 running sum, identical to interleave's Python
+        # accumulation (cumsum adds left to right).
+        edges = np.cumsum(np.asarray(self.weights, dtype=np.float64))
+        total = edges[-1]
+        picks = np.fromiter(
+            (random_draw() for _ in range(n_bursts)), dtype=np.float64, count=n_bursts
+        )
+        # interleave picks the first source whose cumulative edge
+        # satisfies ``pick <= edge``; 'left' finds exactly that index.
+        chosen = np.searchsorted(edges, picks * total, side="left")
+
+        out_addr = np.empty(n, dtype=np.int64)
+        out_pc = np.empty(n, dtype=np.int64)
+        out_kind = np.empty(n, dtype=np.int8)
+        out_gap = np.empty(n, dtype=np.int32)
+        offsets = np.arange(burst, dtype=np.int64)
+        for s, kernel in enumerate(self.kernels):
+            bursts = np.nonzero(chosen == s)[0]
+            if bursts.size == 0:
+                continue
+            positions = (bursts[:, None] * burst + offsets[None, :]).reshape(-1)
+            if positions[-1] >= n:  # the final burst may be truncated
+                positions = positions[positions < n]
+            addr, pc, kind, gap = kernel.columns(positions.size)
+            out_addr[positions] = addr
+            out_pc[positions] = pc
+            out_kind[positions] = kind
+            out_gap[positions] = gap
+        return out_addr, out_pc, out_kind, out_gap
+
+
+#: A workload's synthesis plan: one kernel or a weighted mix.
+Plan = Union[Kernel, Mix]
+
+
+def _K(generator: Callable[..., Iterator[Row]], *args: Any, **kwargs: Any) -> Kernel:
+    return Kernel(generator, args, kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Synthesis instrumentation
+# ---------------------------------------------------------------------------
+
+#: Listeners called as ``fn(workload_name, length, seed)`` every time a
+#: workload trace is actually *synthesized* (either engine).  Cache hits
+#: do not notify — which is exactly what the sweep-level "materialize
+#: once per workload" regression tests assert through this hook.
+_synthesis_listeners: List[Callable[[str, int, int], None]] = []
+
+
+def add_synthesis_listener(fn: Callable[[str, int, int], None]) -> None:
+    """Register a synthesis observer (testing/benchmark hook)."""
+    _synthesis_listeners.append(fn)
+
+
+def remove_synthesis_listener(fn: Callable[[str, int, int], None]) -> None:
+    """Unregister a previously added synthesis observer."""
+    _synthesis_listeners.remove(fn)
+
+
+def _notify_synthesis(name: str, length: int, seed: int) -> None:
+    for fn in _synthesis_listeners:
+        fn(name, length, seed)
+
+
+# ---------------------------------------------------------------------------
+# Workload registry
+# ---------------------------------------------------------------------------
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     """A named synthetic benchmark.
@@ -68,29 +219,52 @@ class WorkloadSpec:
     Attributes:
         name: SPEC2000 benchmark this stands in for.
         description: What the composition models and why.
-        make_source: Factory ``(seed) -> endless row iterator``.
+        make_plan: Factory ``(seed) -> synthesis plan``.
         ipa: Instructions per memory access, used by the IPC model.
         category: Coarse label matching the paper's Figure 22 grouping.
     """
 
     name: str
     description: str
-    make_source: Callable[[int], Iterator[Row]]
+    make_plan: Callable[[int], Plan]
     ipa: float = 3.0
     category: str = "mixed"
 
-    def build(self, length: int = 100_000, seed: int = 0) -> Trace:
-        """Materialize *length* accesses of this workload."""
+    def make_source(self, seed: int) -> Iterator[Row]:
+        """Endless row iterator (the original generator pipeline)."""
+        return self.make_plan(seed).rows()
+
+    def build(self, length: int = 100_000, seed: int = 0, *,
+              engine: str = "vectorized") -> Trace:
+        """Materialize *length* accesses of this workload.
+
+        *engine* selects ``"vectorized"`` (numpy columnar synthesis,
+        array-backed trace — the default) or ``"generator"`` (the
+        original per-row pipeline, list-backed trace).  Both emit
+        bitwise-identical columns.
+        """
         if length <= 0:
             raise TraceError(f"trace length must be positive, got {length}")
+        _notify_synthesis(self.name, length, seed)
+        plan = self.make_plan(derive_seed(seed, self.name))
+        if engine == "vectorized":
+            addresses, pcs, kinds, gaps = plan.columns(length)
+            return Trace(
+                addresses, pcs, kinds, gaps,
+                name=self.name,
+                total_gap=int(gaps.sum(dtype=np.int64)),
+            )
+        if engine != "generator":
+            raise TraceError(f"unknown trace engine {engine!r}")
         builder = TraceBuilder(name=self.name)
-        for addr, pc, kind, gap in take(self.make_source(derive_seed(seed, self.name)), length):
+        for addr, pc, kind, gap in take(plan.rows(), length):
             builder.add(addr, pc=pc, kind=kind, gap=gap)
         return builder.build()
 
 
-def _mix(seed: int, sources: Sequence[Iterator[Row]], weights: Sequence[float], burst: int = 16) -> Iterator[Row]:
-    return kernels.interleave(sources, weights, seed=seed, burst=burst)
+def _mix(seed: int, parts: Sequence[Tuple[Kernel, float]], burst: int = 16) -> Mix:
+    sources, weights = zip(*parts)
+    return Mix(tuple(sources), tuple(weights), seed=seed, burst=burst)
 
 
 # ---------------------------------------------------------------------------
@@ -98,18 +272,16 @@ def _mix(seed: int, sources: Sequence[Iterator[Row]], weights: Sequence[float], 
 # sixtrack, ...).  Small working sets that fit L1, long compute gaps.
 # ---------------------------------------------------------------------------
 
-def _low_stall(hot_kb: int, gap: int, seed_label: str) -> Callable[[int], Iterator[Row]]:
-    def make(seed: int) -> Iterator[Row]:
+def _low_stall(hot_kb: int, gap: int, seed_label: str) -> Callable[[int], Plan]:
+    def make(seed: int) -> Plan:
         return _mix(
             seed,
             [
-                kernels.working_set_loop(_region(0), hot_kb * KB, stride=32, gap=gap),
-                kernels.hot_cold(
+                (_K(kernels.working_set_loop, _region(0), hot_kb * KB, stride=32, gap=gap), 0.7),
+                (_K(kernels.hot_cold,
                     _region(1), 4 * KB, _region(2), 64 * KB,
-                    hot_fraction=0.98, gap=gap, seed=derive_seed(seed, seed_label),
-                ),
+                    hot_fraction=0.98, gap=gap, seed=derive_seed(seed, seed_label)), 0.3),
             ],
-            [0.7, 0.3],
         )
     return make
 
@@ -129,37 +301,35 @@ def _conflicty(
     noise_kb: int = 256,
     accesses_per_block: int = 2,
     num_thrash_sets: int = 4,
-) -> Callable[[int], Iterator[Row]]:
-    def make(seed: int) -> Iterator[Row]:
-        sources: List[Iterator[Row]] = [
-            kernels.working_set_loop(_region(0), hot_kb * KB, stride=32, gap=gap),
+) -> Callable[[int], Plan]:
+    def make(seed: int) -> Plan:
+        parts: List[Tuple[Kernel, float]] = [
+            (_K(kernels.working_set_loop, _region(0), hot_kb * KB, stride=32, gap=gap),
+             1.0 - thrash_weight - noise_weight),
         ]
-        weights: List[float] = [1.0 - thrash_weight - noise_weight]
         per_set = thrash_weight / num_thrash_sets
         for s in range(num_thrash_sets):
             # Alternate 2-way (A->B->A, the ping-pong a Collins filter
             # catches) with wider rotations only timekeeping catches.
             ways = 2 if s % 2 == 0 else max(2, thrash_ways)
-            sources.append(
-                kernels.conflict_thrash(
-                    _conflict_set(3 + s, ways, set_offset=0x40 + s * 0x400),
-                    accesses_per_block=accesses_per_block,
-                    gap=gap,
-                    # 2-way ping-pong keeps its natural A->B->A order (a
-                    # Collins filter must be able to catch it); wider
-                    # rotations get data-dependent visit order.
-                    jitter_seed=0 if ways == 2 else derive_seed(seed, f"thrash{s}"),
-                )
-            )
-            weights.append(per_set)
+            parts.append((
+                _K(kernels.conflict_thrash,
+                   _conflict_set(3 + s, ways, set_offset=0x40 + s * 0x400),
+                   accesses_per_block=accesses_per_block,
+                   gap=gap,
+                   # 2-way ping-pong keeps its natural A->B->A order (a
+                   # Collins filter must be able to catch it); wider
+                   # rotations get data-dependent visit order.
+                   jitter_seed=0 if ways == 2 else derive_seed(seed, f"thrash{s}")),
+                per_set,
+            ))
         if noise_weight > 0:
-            sources.append(
-                kernels.random_access(
-                    _region(10), noise_kb * KB, gap=gap, seed=derive_seed(seed, "noise")
-                )
-            )
-            weights.append(noise_weight)
-        return _mix(seed, sources, weights, burst=thrash_ways * accesses_per_block)
+            parts.append((
+                _K(kernels.random_access,
+                   _region(10), noise_kb * KB, gap=gap, seed=derive_seed(seed, "noise")),
+                noise_weight,
+            ))
+        return _mix(seed, parts, burst=thrash_ways * accesses_per_block)
     return make
 
 
@@ -169,46 +339,24 @@ def _conflicty(
 # most memory-bound ones beyond the 1MB L2), regular traversals.
 # ---------------------------------------------------------------------------
 
-def _streaming(
-    region_kb: int,
-    gap: int,
-    *,
-    stride: int = 32,
-    extra: Callable[[int], List[Tuple[Iterator[Row], float]]] = lambda seed: [],
-    stream_weight: float = 1.0,
-) -> Callable[[int], Iterator[Row]]:
-    def make(seed: int) -> Iterator[Row]:
-        sources = [kernels.sequential_sweep(_region(0), region_kb * KB, stride=stride, gap=gap)]
-        weights = [stream_weight]
-        for src, w in extra(seed):
-            sources.append(src)
-            weights.append(w)
-        if len(sources) == 1:
-            return sources[0]
-        return _mix(seed, sources, weights, burst=32)
-    return make
-
-
-def _gcc_like(seed: int) -> Iterator[Row]:
+def _gcc_like(seed: int) -> Plan:
     """Hot IR working set + streaming passes + bursty pointer noise."""
     return _mix(
         seed,
         [
-            kernels.hot_cold(
+            (_K(kernels.hot_cold,
                 _region(0), 16 * KB, _region(1), 256 * KB,
                 hot_fraction=0.6, gap=1, seed=derive_seed(seed, "hc"),
-                sequential_cold=True,
-            ),
-            kernels.sequential_sweep(_region(2), 96 * KB, stride=8, gap=1),
-            kernels.pointer_chase(_region(3), 4_000, node_bytes=64, gap=1,
-                                  seed=derive_seed(seed, "pc")),
+                sequential_cold=True), 0.20),
+            (_K(kernels.sequential_sweep, _region(2), 96 * KB, stride=8, gap=1), 0.72),
+            (_K(kernels.pointer_chase, _region(3), 4_000, node_bytes=64, gap=1,
+                seed=derive_seed(seed, "pc")), 0.08),
         ],
-        [0.20, 0.72, 0.08],
         burst=48,
     )
 
 
-def _mcf_like(seed: int) -> Iterator[Row]:
+def _mcf_like(seed: int) -> Plan:
     """Huge pointer chase (network simplex arcs) + small hot loop.
 
     The 3MB node footprint defeats the L2, and one table entry per node
@@ -223,54 +371,50 @@ def _mcf_like(seed: int) -> Iterator[Row]:
             # ~1.1MB of touched 64B lines spills the L2, and the wide
             # tag space keeps small correlation tables from matching —
             # mcf's table-size hunger.
-            kernels.pointer_chase(_region(0), 24_000, node_bytes=2080, gap=12,
-                                  seed=derive_seed(seed, "arcs")),
-            kernels.working_set_loop(_region(1), 8 * KB, stride=32, gap=6),
+            (_K(kernels.pointer_chase, _region(0), 24_000, node_bytes=2080, gap=12,
+                seed=derive_seed(seed, "arcs")), 0.8),
+            (_K(kernels.working_set_loop, _region(1), 8 * KB, stride=32, gap=6), 0.2),
         ],
-        [0.8, 0.2],
         burst=64,
     )
 
 
-def _swim_like(seed: int) -> Iterator[Row]:
+def _swim_like(seed: int) -> Plan:
     """Three grids swept in lockstep (shallow-water arrays).
 
     192KB joint footprint: far beyond the 32KB L1 (pure L1 capacity
     misses) but L2-resident; one pass is ~24K accesses so default-length
     traces see several reuse generations.
     """
-    return kernels.stream_triad(
-        _region(0), _region(1), _region(2), 8_000, element_bytes=8, gap=1
-    )
+    return _K(kernels.stream_triad,
+              _region(0), _region(1), _region(2), 8_000, element_bytes=8, gap=1)
 
 
-def _mgrid_like(seed: int) -> Iterator[Row]:
+def _mgrid_like(seed: int) -> Plan:
     """Multigrid: stencils over nested grids — short, regular generations."""
     return _mix(
         seed,
         [
-            kernels.stencil_sweep(_region(0), 64, 64, element_bytes=8, gap=1),
-            kernels.sequential_sweep(_region(2), 128 * KB, stride=8, gap=1),
+            (_K(kernels.stencil_sweep, _region(0), 64, 64, element_bytes=8, gap=1), 0.4),
+            (_K(kernels.sequential_sweep, _region(2), 128 * KB, stride=8, gap=1), 0.6),
         ],
-        [0.4, 0.6],
         burst=64,
     )
 
 
-def _applu_like(seed: int) -> Iterator[Row]:
+def _applu_like(seed: int) -> Plan:
     """SSOR sweeps: large sequential passes with block reuse."""
     return _mix(
         seed,
         [
-            kernels.sequential_sweep(_region(0), 192 * KB, stride=8, gap=1),
-            kernels.working_set_loop(_region(1), 20 * KB, stride=32, gap=1),
+            (_K(kernels.sequential_sweep, _region(0), 192 * KB, stride=8, gap=1), 0.8),
+            (_K(kernels.working_set_loop, _region(1), 20 * KB, stride=32, gap=1), 0.2),
         ],
-        [0.8, 0.2],
         burst=64,
     )
 
 
-def _art_like(seed: int) -> Iterator[Row]:
+def _art_like(seed: int) -> Plan:
     """Neural-net weights swept in long bursts with noisy winner lookups.
 
     The long bursts overflow the prefetch queue (discards) and the
@@ -280,15 +424,15 @@ def _art_like(seed: int) -> Iterator[Row]:
     return _mix(
         seed,
         [
-            kernels.sequential_sweep(_region(0), 320 * KB, stride=8, gap=1),
-            kernels.random_access(_region(1), 256 * KB, gap=1, seed=derive_seed(seed, "f1")),
+            (_K(kernels.sequential_sweep, _region(0), 320 * KB, stride=8, gap=1), 0.65),
+            (_K(kernels.random_access, _region(1), 256 * KB, gap=1,
+                seed=derive_seed(seed, "f1")), 0.35),
         ],
-        [0.65, 0.35],
         burst=256,
     )
 
 
-def _facerec_like(seed: int) -> Iterator[Row]:
+def _facerec_like(seed: int) -> Plan:
     """Image-graph correlation: gallery/probe image sweeps with a
     short-generation stencil over the graph grid.
 
@@ -300,16 +444,15 @@ def _facerec_like(seed: int) -> Iterator[Row]:
     return _mix(
         seed,
         [
-            kernels.stencil_sweep(_region(0), 48, 64, element_bytes=4, gap=1),
-            kernels.sequential_sweep(_region(1), 96 * KB, stride=8, gap=1),
-            kernels.sequential_sweep(_region(2), 64 * KB, stride=8, gap=1),
+            (_K(kernels.stencil_sweep, _region(0), 48, 64, element_bytes=4, gap=1), 0.25),
+            (_K(kernels.sequential_sweep, _region(1), 96 * KB, stride=8, gap=1), 0.45),
+            (_K(kernels.sequential_sweep, _region(2), 64 * KB, stride=8, gap=1), 0.30),
         ],
-        [0.25, 0.45, 0.30],
         burst=48,
     )
 
 
-def _ammp_like(seed: int) -> Iterator[Row]:
+def _ammp_like(seed: int) -> Plan:
     """Molecular dynamics neighbor sweeps: perfectly regular, memory-bound.
 
     Three 16-byte-element arrays (1.1MB joint footprint, slightly
@@ -318,12 +461,11 @@ def _ammp_like(seed: int) -> Iterator[Row]:
     time trivially predictable — ammp is the paper's best prefetch case
     (+257%).
     """
-    return kernels.stream_triad(
-        _region(0), _region(1), _region(2), 8_000, element_bytes=16, gap=1
-    )
+    return _K(kernels.stream_triad,
+              _region(0), _region(1), _region(2), 8_000, element_bytes=16, gap=1)
 
 
-def _lucas_like(seed: int) -> Iterator[Row]:
+def _lucas_like(seed: int) -> Plan:
     """FFT butterflies: bit-reversed (shuffled) passes over the working
     array plus power-of-two stride conflicts.
 
@@ -336,18 +478,17 @@ def _lucas_like(seed: int) -> Iterator[Row]:
     return _mix(
         seed,
         [
-            kernels.random_access(_region(0), 128 * KB, gap=2,
-                                  seed=derive_seed(seed, "bitrev")),
-            kernels.sequential_sweep(_region(1), 64 * KB, stride=16, gap=2),
-            kernels.conflict_thrash(_conflict_set(2, 4), accesses_per_block=2, gap=2,
-                                    jitter_seed=derive_seed(seed, "butterfly")),
+            (_K(kernels.random_access, _region(0), 128 * KB, gap=2,
+                seed=derive_seed(seed, "bitrev")), 0.30),
+            (_K(kernels.sequential_sweep, _region(1), 64 * KB, stride=16, gap=2), 0.45),
+            (_K(kernels.conflict_thrash, _conflict_set(2, 4), accesses_per_block=2,
+                gap=2, jitter_seed=derive_seed(seed, "butterfly")), 0.25),
         ],
-        [0.30, 0.45, 0.25],
         burst=32,
     )
 
 
-def _twolf_like(seed: int) -> Iterator[Row]:
+def _twolf_like(seed: int) -> Plan:
     """Placement annealing: random cell lookups — unpredictable addresses."""
     return _mix(
         seed,
@@ -356,27 +497,25 @@ def _twolf_like(seed: int) -> Iterator[Row]:
             # per 4.3KB record; odd block multiple so all sets are hit):
             # ~360KB of live data with a wide tag space, so correlation
             # tables rarely even match.
-            kernels.random_access(_region(0), 48 * MB, align=4384, gap=2,
-                                  seed=derive_seed(seed, "cells")),
-            kernels.working_set_loop(_region(1), 12 * KB, stride=32, gap=2),
-            kernels.conflict_thrash(_conflict_set(2, 3), accesses_per_block=2, gap=2,
-                                    jitter_seed=derive_seed(seed, "cells-thrash")),
+            (_K(kernels.random_access, _region(0), 48 * MB, align=4384, gap=2,
+                seed=derive_seed(seed, "cells")), 0.45),
+            (_K(kernels.working_set_loop, _region(1), 12 * KB, stride=32, gap=2), 0.40),
+            (_K(kernels.conflict_thrash, _conflict_set(2, 3), accesses_per_block=2,
+                gap=2, jitter_seed=derive_seed(seed, "cells-thrash")), 0.15),
         ],
-        [0.45, 0.40, 0.15],
         burst=16,
     )
 
 
-def _parser_like(seed: int) -> Iterator[Row]:
+def _parser_like(seed: int) -> Plan:
     """Dictionary walks: random hash probes over a mid-size table."""
     return _mix(
         seed,
         [
-            kernels.random_access(_region(0), 40 * MB, align=3488, gap=2,
-                                  seed=derive_seed(seed, "dict")),
-            kernels.working_set_loop(_region(1), 16 * KB, stride=32, gap=2),
+            (_K(kernels.random_access, _region(0), 40 * MB, align=3488, gap=2,
+                seed=derive_seed(seed, "dict")), 0.5),
+            (_K(kernels.working_set_loop, _region(1), 16 * KB, stride=32, gap=2), 0.5),
         ],
-        [0.5, 0.5],
         burst=16,
     )
 
@@ -384,7 +523,7 @@ def _parser_like(seed: int) -> Iterator[Row]:
 def _make_registry() -> Dict[str, WorkloadSpec]:
     specs: List[WorkloadSpec] = []
 
-    def add(name: str, make: Callable[[int], Iterator[Row]], desc: str, ipa: float, cat: str) -> None:
+    def add(name: str, make: Callable[[int], Plan], desc: str, ipa: float, cat: str) -> None:
         specs.append(WorkloadSpec(name, desc, make, ipa=ipa, category=cat))
 
     # --- few memory stalls -------------------------------------------------
@@ -461,6 +600,7 @@ def get_workload(name: str) -> WorkloadSpec:
         raise TraceError(f"unknown workload {name!r}; known: {', '.join(SPEC2000)}") from None
 
 
-def build_workload(name: str, length: int = 100_000, seed: int = 0) -> Trace:
+def build_workload(name: str, length: int = 100_000, seed: int = 0, *,
+                   engine: str = "vectorized") -> Trace:
     """Materialize *length* accesses of the named stand-in."""
-    return get_workload(name).build(length=length, seed=seed)
+    return get_workload(name).build(length=length, seed=seed, engine=engine)

@@ -1,0 +1,138 @@
+"""Sweep ↔ trace-cache wiring: one materialization per workload.
+
+The point of the cache at sweep scale: ``run_sweep`` prewarms each
+workload's trace once in the parent, and every cell — every config,
+every worker, every *retry* — consumes that one materialization.  The
+synthesis listener hook counts actual synthesis runs, so these tests
+fail if anything regresses to the per-cell×retry rebuild.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim.runner import run_sweep
+from repro.sim.sweep import run_suite
+from repro.traces import workloads
+from repro.traces.cache import TraceCache
+
+CONFIGS = {
+    "base": {},
+    "victim_tk": {"victim_filter": "timekeeping"},
+}
+WORKLOADS = ["gzip", "eon"]
+LENGTH = 1_200
+
+
+@pytest.fixture
+def synth_counts():
+    counts = {}
+
+    def listener(name, length, seed):
+        counts[name] = counts.get(name, 0) + 1
+
+    workloads.add_synthesis_listener(listener)
+    yield counts
+    workloads.remove_synthesis_listener(listener)
+
+
+def test_sweep_synthesizes_once_per_workload(tmp_path, synth_counts):
+    report = run_sweep(
+        CONFIGS,
+        workloads=WORKLOADS,
+        length=LENGTH,
+        trace_cache=tmp_path / "cache",
+    )
+    assert not report.failures
+    # 2 workloads x 2 configs = 4 cells, but 1 synthesis per workload.
+    assert synth_counts == {name: 1 for name in WORKLOADS}
+
+
+def test_warm_sweep_synthesizes_nothing(tmp_path, synth_counts):
+    root = tmp_path / "cache"
+    run_sweep(CONFIGS, workloads=WORKLOADS, length=LENGTH, trace_cache=root)
+    synth_counts.clear()
+    report = run_sweep(CONFIGS, workloads=WORKLOADS, length=LENGTH, trace_cache=root)
+    assert not report.failures
+    assert synth_counts == {}
+
+
+def test_retried_cell_does_not_resynthesize(tmp_path, synth_counts):
+    """A transiently-failing cell retries without rebuilding its trace."""
+    attempts_seen = []
+
+    def flaky_hook(workload, config, attempt):
+        attempts_seen.append((workload, config, attempt))
+        if workload == "gzip" and config == "base" and attempt == 1:
+            raise OSError("injected transient fault")
+
+    report = run_sweep(
+        CONFIGS,
+        workloads=WORKLOADS,
+        length=LENGTH,
+        retries=2,
+        backoff=0.0,
+        fault_hook=flaky_hook,
+        trace_cache=tmp_path / "cache",
+    )
+    assert not report.failures
+    assert report.attempts[("gzip", "base")] == 2  # the retry happened
+    # ... and synthesis still ran exactly once per workload.
+    assert synth_counts == {name: 1 for name in WORKLOADS}
+
+
+def test_disabled_cache_rebuilds_per_cell(synth_counts):
+    report = run_sweep(
+        CONFIGS,
+        workloads=WORKLOADS,
+        length=LENGTH,
+        trace_cache=False,
+    )
+    assert not report.failures
+    # the pre-cache behavior: one synthesis per cell
+    assert synth_counts == {name: len(CONFIGS) for name in WORKLOADS}
+
+
+def test_cached_sweep_results_match_uncached(tmp_path):
+    cached = run_sweep(
+        CONFIGS, workloads=WORKLOADS, length=LENGTH, trace_cache=tmp_path / "c"
+    )
+    uncached = run_sweep(CONFIGS, workloads=WORKLOADS, length=LENGTH, trace_cache=False)
+    for name in WORKLOADS:
+        for config in CONFIGS:
+            a = cached.results[name][config]
+            b = uncached.results[name][config]
+            assert a.ipc == b.ipc
+            assert a.l1_miss_rate == b.l1_miss_rate
+
+
+def test_run_suite_serial_path_uses_cache(tmp_path, synth_counts):
+    root = tmp_path / "cache"
+    run_suite(CONFIGS, workloads=WORKLOADS, length=LENGTH, trace_cache=root)
+    first = dict(synth_counts)
+    run_suite(CONFIGS, workloads=WORKLOADS, length=LENGTH, trace_cache=root)
+    assert first == {name: 1 for name in WORKLOADS}
+    assert synth_counts == first  # second run fully warm
+
+
+def test_parallel_workers_share_prewarmed_cache(tmp_path, synth_counts):
+    report = run_sweep(
+        CONFIGS,
+        workloads=WORKLOADS,
+        length=LENGTH,
+        workers=2,
+        trace_cache=tmp_path / "cache",
+    )
+    assert not report.failures
+    # Synthesis happened in the parent (where the listener lives),
+    # once per workload; workers only mmap the entries.
+    assert synth_counts == {name: 1 for name in WORKLOADS}
+
+
+def test_cache_entries_created_at_given_root(tmp_path):
+    root = tmp_path / "cache"
+    run_sweep(CONFIGS, workloads=WORKLOADS, length=LENGTH, trace_cache=root)
+    cache = TraceCache(root=root)
+    metas = [meta for _key, meta in cache.entries()]
+    assert sorted(m["workload"] for m in metas) == sorted(WORKLOADS)
+    assert all(m["length"] == LENGTH + LENGTH // 3 for m in metas)

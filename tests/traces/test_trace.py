@@ -1,11 +1,12 @@
 """Tests for the Trace container and builder."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.common.errors import TraceError
 from repro.common.types import AccessType, MemoryAccess
-from repro.traces.trace import Trace, TraceBuilder
+from repro.traces.trace import COLUMN_DTYPES, Trace, TraceBuilder
 
 
 def make_simple(n=5):
@@ -127,3 +128,120 @@ class TestTrace:
         assert len(t) == len(rows)
         assert t.addresses == [r[0] for r in rows]
         assert t.total_gap_cycles == sum(r[1] for r in rows)
+
+
+def make_array_trace(n=5):
+    return Trace(
+        np.arange(n, dtype=np.int64) * 32,
+        np.arange(n, dtype=np.int64) + 0x100,
+        np.zeros(n, dtype=np.int8),
+        np.arange(n, dtype=np.int32),
+        name="arr",
+    )
+
+
+class TestArrayBackedTrace:
+    def test_mode_flags(self):
+        assert make_array_trace().columns_are_arrays
+        assert not make_simple().columns_are_arrays
+
+    def test_rows_yield_plain_ints(self):
+        # the simulator's hot loop does bit arithmetic on these; numpy
+        # scalars would silently change its performance profile
+        for row in make_array_trace(3).rows():
+            assert all(type(v) is int for v in row)
+
+    def test_rows_match_list_mode(self):
+        assert list(make_array_trace(5).rows()) == list(make_simple(5).rows())
+
+    def test_rows_work_on_readonly_arrays(self):
+        t = make_array_trace(4)
+        for col in (t.addresses, t.pcs, t.kinds, t.gaps):
+            col.flags.writeable = False
+        assert len(list(t.rows())) == 4
+
+    def test_getitem_returns_python_ints(self):
+        acc = make_array_trace(3)[2]
+        assert type(acc.address) is int
+        assert acc.address == 64
+
+    def test_columns_normalized_to_canonical_dtypes(self):
+        t = Trace(
+            np.arange(3, dtype=np.uint32),
+            [0, 0, 0],  # mixed list/array input: all become arrays
+            np.zeros(3, dtype=np.int64),
+            np.ones(3, dtype=np.int8),
+        )
+        assert t.columns_are_arrays
+        for col, dtype in zip((t.addresses, t.pcs, t.kinds, t.gaps), COLUMN_DTYPES):
+            assert col.dtype == dtype
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(np.zeros(2, dtype=np.int64), np.zeros(3, dtype=np.int64),
+                  np.zeros(2, dtype=np.int8), np.zeros(2, dtype=np.int32))
+
+    def test_sliced_stays_array_backed(self):
+        s = make_array_trace(5).sliced(1, 3)
+        assert s.columns_are_arrays
+        assert s.addresses.tolist() == [32, 64]
+
+    def test_concatenated_mixed_modes(self):
+        arr = make_array_trace(2)
+        lst = make_simple(2)
+        for joined in (arr.concatenated(lst), lst.concatenated(arr)):
+            assert len(joined) == 4
+            assert joined.columns_are_arrays
+            assert joined.addresses.tolist() == [0, 32, 0, 32]
+
+    def test_footprint_blocks(self):
+        assert make_array_trace(5).footprint_blocks(64) == \
+            make_simple(5).footprint_blocks(64)
+
+    def test_to_arrays_returns_views(self):
+        t = make_array_trace(4)
+        addrs, _pcs, _kinds, _gaps = t.to_arrays()
+        assert addrs is t.addresses  # no copy for array-backed traces
+
+    def test_without_software_prefetches_on_arrays(self):
+        t = Trace(
+            np.asarray([0, 32, 64], dtype=np.int64),
+            np.zeros(3, dtype=np.int64),
+            np.asarray([0, int(AccessType.SW_PREFETCH), 0], dtype=np.int8),
+            np.asarray([5, 3, 2], dtype=np.int32),
+        ).without_software_prefetches()
+        assert len(t) == 2
+        assert t.gaps == [5, 5]
+        assert t.total_gap_cycles == 10
+
+
+class TestTotalGapMemoization:
+    def test_builder_precomputes(self):
+        t = make_simple(5)
+        assert t._total_gap == 10  # stored at build time, not on demand
+
+    def test_lazy_memoization_list_mode(self):
+        t = Trace([0, 32], [0, 0], [0, 0], [3, 4])
+        assert t._total_gap is None
+        assert t.total_gap_cycles == 7
+        assert t._total_gap == 7
+
+    def test_lazy_memoization_array_mode(self):
+        t = make_array_trace(5)
+        assert t._total_gap is None
+        assert t.total_gap_cycles == 10
+        assert t._total_gap == 10
+
+    def test_explicit_total_gap_trusted(self):
+        t = Trace([0], [0], [0], [1], total_gap=1)
+        assert t.total_gap_cycles == 1
+
+    def test_array_sum_does_not_overflow_int32(self):
+        n = 70_000
+        t = Trace(
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int8),
+            np.full(n, 40_000, dtype=np.int32),  # sum far beyond 2**31
+        )
+        assert t.total_gap_cycles == n * 40_000

@@ -24,14 +24,37 @@ class TestBinary:
         trace_io.save_binary(t, path)
         back = trace_io.load_binary(path)
         assert back.name == t.name
-        assert back.addresses == t.addresses
-        assert back.pcs == t.pcs
-        assert back.kinds == t.kinds
-        assert back.gaps == t.gaps
+        assert back.columns_are_arrays  # no .tolist() round-trip
+        assert list(back.addresses) == t.addresses
+        assert list(back.pcs) == t.pcs
+        assert list(back.kinds) == t.kinds
+        assert list(back.gaps) == t.gaps
 
     def test_missing_file(self, tmp_path):
         with pytest.raises(TraceError):
             trace_io.load_binary(tmp_path / "nope.npz")
+
+    def test_roundtrip_unsuffixed_path(self, tmp_path):
+        # np.savez_compressed appends .npz to bare paths; save/load must
+        # agree on the final location for both spellings.
+        t = sample_trace()
+        bare = tmp_path / "t"
+        trace_io.save_binary(t, bare)
+        assert (tmp_path / "t.npz").exists()
+        assert not bare.exists()
+        for path in (bare, tmp_path / "t.npz"):
+            back = trace_io.load_binary(path)
+            assert list(back.addresses) == t.addresses
+            assert list(back.gaps) == t.gaps
+
+    def test_roundtrip_suffixed_path(self, tmp_path):
+        t = sample_trace()
+        path = tmp_path / "t.npz"
+        trace_io.save_binary(t, path)
+        assert path.exists()
+        assert not (tmp_path / "t.npz.npz").exists()  # no double suffix
+        back = trace_io.load_binary(tmp_path / "t")  # unsuffixed spelling
+        assert list(back.addresses) == t.addresses
 
     def test_corrupt_file(self, tmp_path):
         path = tmp_path / "bad.npz"
@@ -83,7 +106,7 @@ class TestDispatch:
         txt = tmp_path / "a.trc"
         trace_io.save(t, npz)
         trace_io.save(t, txt)
-        assert trace_io.load(npz).addresses == t.addresses
+        assert list(trace_io.load(npz).addresses) == t.addresses
         assert trace_io.load(txt).addresses == t.addresses
 
 

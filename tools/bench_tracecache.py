@@ -1,0 +1,231 @@
+"""Measure trace synthesis and trace-cache wins for BENCH_tracecache.json.
+
+Two measurements:
+
+1. **Synthesis**: generator vs vectorized engines building 100k-access
+   traces for a representative workload set (best and worst vectorization
+   cases included: ammp is pure arithmetic, twolf/parser replay Python
+   RNG draws).
+2. **Sweep**: a 4-workload x 4-config ``run_sweep`` three ways —
+   cache disabled (the pre-cache behavior: one synthesis per cell),
+   cold cache (one synthesis per workload, entries persisted), and warm
+   cache (zero syntheses, everything mmapped) — with wall-clock times
+   and observed synthesis counts.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_tracecache.py [--output BENCH_tracecache.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.sim.runner import run_sweep
+from repro.traces import workloads
+from repro.traces.cache import TraceCache
+from repro.traces.workloads import build_workload
+
+SYNTH_WORKLOADS = ("gcc", "mcf", "twolf", "ammp")
+SYNTH_LENGTH = 100_000
+
+SWEEP_WORKLOADS = ["gcc", "mcf", "swim", "art"]
+SWEEP_CONFIGS = {
+    "base": {},
+    "victim_tk": {"victim_filter": "timekeeping"},
+    "pf_tk": {"prefetcher": "timekeeping"},
+    "decay": {"decay_interval": 8192},
+}
+SWEEP_LENGTH = 20_000
+
+
+def _time(fn, rounds: int = 3):
+    times = []
+    result = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - t0)
+    return result, {"min_ms": round(min(times) * 1e3, 2),
+                    "mean_ms": round(statistics.mean(times) * 1e3, 2)}
+
+
+def bench_synthesis() -> dict:
+    out = {}
+    for name in SYNTH_WORKLOADS:
+        gen_trace, gen = _time(
+            lambda: build_workload(name, length=SYNTH_LENGTH, engine="generator"))
+        vec_trace, vec = _time(
+            lambda: build_workload(name, length=SYNTH_LENGTH, engine="vectorized"))
+        assert len(gen_trace) == len(vec_trace) == SYNTH_LENGTH
+        out[name] = {
+            "generator_ms": gen,
+            "vectorized_ms": vec,
+            "speedup_min": round(gen["min_ms"] / vec["min_ms"], 2),
+        }
+    return out
+
+
+def bench_materialization() -> dict:
+    """Time only the trace-materialization phase of one sweep's cells.
+
+    This is the part the cache optimizes: 16 cells needing 4 distinct
+    traces (length + warmup accesses each).
+    """
+    total = SWEEP_LENGTH + SWEEP_LENGTH // 3
+    cells = len(SWEEP_WORKLOADS) * len(SWEEP_CONFIGS)
+
+    def per_cell(engine):
+        for name in SWEEP_WORKLOADS:
+            for _ in SWEEP_CONFIGS:
+                build_workload(name, length=total, seed=0, engine=engine)
+
+    _, gen = _time(lambda: per_cell("generator"))
+    _, vec = _time(lambda: per_cell("vectorized"))
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = TraceCache(root=Path(tmp) / "traces")
+
+        def cold():
+            cache.clear()
+            for name in SWEEP_WORKLOADS:
+                cache.prewarm(name, total, 0)
+
+        def warm():
+            for name in SWEEP_WORKLOADS:
+                for _ in SWEEP_CONFIGS:
+                    assert cache.get(name, total, 0) is not None
+
+        _, cold_t = _time(cold)
+        _, warm_t = _time(warm)
+    return {
+        "shape": f"{cells} cells needing {len(SWEEP_WORKLOADS)} distinct traces of "
+                 f"{total} accesses",
+        "per_cell_generator_ms": gen,     # the pre-cache, pre-vectorization behavior
+        "per_cell_vectorized_ms": vec,    # vectorized, but still once per cell
+        "cold_cache_ms": cold_t,          # once per workload + persist
+        "warm_cache_ms": warm_t,          # one mmap load per cell
+        "warm_vs_per_cell_generator_speedup": round(
+            gen["min_ms"] / warm_t["min_ms"], 1),
+    }
+
+
+def bench_sweep(rounds: int = 5) -> dict:
+    counts = {"n": 0}
+
+    def listener(*_args):
+        counts["n"] += 1
+
+    def run(trace_cache):
+        counts["n"] = 0
+        report = run_sweep(
+            SWEEP_CONFIGS,
+            workloads=SWEEP_WORKLOADS,
+            length=SWEEP_LENGTH,
+            trace_cache=trace_cache,
+        )
+        assert not report.failures, report.failures
+        return counts["n"]
+
+    orig_build = workloads.WorkloadSpec.build
+
+    def generator_build(self, length=100_000, seed=0, *, engine="generator"):
+        return orig_build(self, length=length, seed=seed, engine="generator")
+
+    def run_pre_pr():
+        # pre-PR behavior: no cache, per-cell *generator* synthesis
+        workloads.WorkloadSpec.build = generator_build
+        try:
+            return run(False)
+        finally:
+            workloads.WorkloadSpec.build = orig_build
+
+    workloads.add_synthesis_listener(listener)
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp) / "traces"
+            cache = TraceCache(root=root)
+            # (name, setup, fn) — rounds are interleaved across modes so
+            # slow machine drift hits every mode equally.
+            modes = [
+                ("pre_pr", None, run_pre_pr),
+                ("no_cache", None, lambda: run(False)),
+                ("cold_cache", cache.clear, lambda: run(root)),
+                ("warm_cache", lambda: run(root), lambda: run(root)),
+            ]
+            times = {name: [] for name, _s, _f in modes}
+            syntheses = {}
+            for _ in range(rounds):
+                for name, setup, fn in modes:
+                    if setup is not None:
+                        setup()  # untimed (re-cold the root / pre-warm it)
+                    t0 = time.perf_counter()
+                    syntheses[name] = fn()
+                    times[name].append(time.perf_counter() - t0)
+    finally:
+        workloads.remove_synthesis_listener(listener)
+    wall = {name: round(min(ts) * 1e3, 2) for name, ts in times.items()}
+    return {
+        "shape": f"{len(SWEEP_WORKLOADS)} workloads x {len(SWEEP_CONFIGS)} configs, "
+                 f"length {SWEEP_LENGTH} (+warmup /3), min of {rounds} interleaved rounds",
+        "wall_clock_ms": wall,
+        "wall_clock_mean_ms": {
+            name: round(statistics.mean(ts) * 1e3, 2) for name, ts in times.items()
+        },
+        "trace_syntheses": syntheses,
+        "warm_vs_pre_pr_speedup": round(wall["pre_pr"] / wall["warm_cache"], 2),
+        "warm_vs_cold_speedup": round(wall["cold_cache"] / wall["warm_cache"], 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=None,
+                        help="write the JSON report here (default: stdout)")
+    args = parser.parse_args(argv)
+
+    import math
+    import platform
+
+    synthesis = bench_synthesis()
+    speedups = [entry["speedup_min"] for entry in synthesis.values()]
+    report = {
+        "name": "vectorized-trace-synthesis+content-addressed-cache",
+        "date": time.strftime("%Y-%m-%d"),
+        "benchmark": "tools/bench_tracecache.py (pytest twin: benchmarks/test_perf_tracecache.py)",
+        "machine": f"CPython {platform.python_version()}, {platform.system()} {platform.machine()}",
+        "command": "PYTHONPATH=src python tools/bench_tracecache.py",
+        "synthesis_100k": synthesis,
+        "synthesis_speedup_geomean": round(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 2),
+        "sweep_materialization": bench_materialization(),
+        "sweep": bench_sweep(),
+        "notes": (
+            "Synthesis: generator engine = per-row Python iterator pipeline; "
+            "vectorized engine = numpy columnar synthesis, bitwise-identical "
+            "columns (tests/traces/test_vectorized_equivalence.py). twolf-style "
+            "workloads replay Python RNG draws and gain least; pure-arithmetic "
+            "kernels (ammp) gain most. Sweep: trace_syntheses counts actual "
+            "workload materializations observed via the synthesis listener hook "
+            "(no_cache: once per cell, cold: once per workload, warm: zero). "
+            "End-to-end sweep wall clock is simulation-dominated at this length; "
+            "sweep_materialization isolates the setup phase the cache optimizes, "
+            "including the pre-PR per-cell generator behavior."
+        ),
+    }
+    text = json.dumps(report, indent=2)
+    if args.output:
+        Path(args.output).write_text(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
