@@ -8,7 +8,9 @@ Usage (installed as ``python -m repro``):
     python -m repro compare vpr --configs base,victim,victim_tk,pf_tk
     python -m repro metrics ammp --length 60000
     python -m repro sweep --workloads all --configs base,victim_tk,pf_tk \\
-        --workers 4 --store out.jsonl --resume
+        --workers 4 --store out.jsonl --resume \\
+        --progress --trace-out trace.json --log-json events.jsonl
+    python -m repro report out.jsonl --timing
     python -m repro trace build swim --length 60000
     python -m repro trace inspect
     python -m repro trace prewarm --workloads all --length 60000
@@ -21,12 +23,18 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import nullcontext
 from typing import List, Optional
 
 from .analysis.report import format_table, percent
 from .common.config import paper_machine
 from .common.types import MissClass
+from .obs.logging import JsonlLogger
+from .obs.metrics import PHASES, aggregate_phases
+from .obs.progress import SweepProgress
+from .obs.tracing import build_sweep_trace
 from .sim.runner import run_sweep
+from .sim.store import RunStore
 from .sim.sweep import run_workload
 from .traces.cache import TraceCache, default_cache_root
 from .traces.workloads import SPEC2000, get_workload
@@ -103,7 +111,24 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="replay completed cells from --store, run the rest")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress on stderr")
+    sweep.add_argument("--progress", action="store_true",
+                       help="live progress line on stderr (cells done/failed/"
+                            "retried, ETA, trace-cache hit rate)")
+    sweep.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="write a Chrome trace-event JSON of the sweep "
+                            "(open in chrome://tracing or Perfetto)")
+    sweep.add_argument("--log-json", default=None, metavar="FILE",
+                       help="append structured JSONL events (cell starts/"
+                            "finishes, retries, cache events) to FILE")
     _add_cache_args(sweep)
+
+    report = sub.add_parser(
+        "report",
+        help="summarize a sweep checkpoint store (--timing: phase breakdown)")
+    report.add_argument("store", help="JSONL checkpoint file written by `sweep --store`")
+    report.add_argument("--timing", action="store_true",
+                        help="per-cell spawn/synthesis/simulate/serialize "
+                             "breakdown from the stored telemetry")
 
     trace = sub.add_parser(
         "trace",
@@ -265,8 +290,11 @@ def _cmd_sweep(args, out) -> int:
         workloads = list(SPEC2000)
     else:
         workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+    observer = None
     progress = None
-    if not args.quiet:
+    if args.progress:
+        observer = SweepProgress(stream=sys.stderr)
+    elif not args.quiet:
         def progress(workload: str, config: str) -> None:
             print(f"running {workload}:{config}", file=sys.stderr)
     trace_cache: object = True
@@ -274,20 +302,31 @@ def _cmd_sweep(args, out) -> int:
         trace_cache = False
     elif args.cache_root:
         trace_cache = args.cache_root
-    report = run_sweep(
-        configs,
-        workloads=workloads,
-        length=args.length,
-        warmup=args.warmup,
-        seed=args.seed,
-        workers=args.workers,
-        timeout=args.timeout,
-        retries=args.retries,
-        store=args.store,
-        resume=args.resume,
-        progress=progress,
-        trace_cache=trace_cache,
-    )
+    # --trace-out needs per-cell telemetry even with no observer/logger.
+    telemetry = True if args.trace_out else None
+    log_scope = JsonlLogger(args.log_json) if args.log_json else nullcontext()
+    with log_scope:
+        report = run_sweep(
+            configs,
+            workloads=workloads,
+            length=args.length,
+            warmup=args.warmup,
+            seed=args.seed,
+            workers=args.workers,
+            timeout=args.timeout,
+            retries=args.retries,
+            store=args.store,
+            resume=args.resume,
+            progress=progress,
+            trace_cache=trace_cache,
+            observer=observer,
+            telemetry=telemetry,
+        )
+    if args.trace_out:
+        build_sweep_trace(report).write(args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out} "
+              f"(open in chrome://tracing or https://ui.perfetto.dev)",
+              file=sys.stderr)
     rows = []
     for workload in workloads:
         results = report.results.get(workload, {})
@@ -304,14 +343,72 @@ def _cmd_sweep(args, out) -> int:
         ),
         file=out,
     )
-    print(
-        f"{report.ok_cells} cells ok ({report.replayed} replayed from store), "
-        f"{len(report.failures)} failed",
-        file=out,
-    )
+    print(report.summary(), file=out)
     for failure in report.failures:
         print(f"FAILED {failure}", file=out)
     return 1 if report.failures else 0
+
+
+def _format_seconds(seconds) -> str:
+    return f"{seconds:.3f}s" if seconds is not None else "-"
+
+
+def _cmd_report(args, out) -> int:
+    store = RunStore(args.store)
+    manifest, cells = store.load()
+    if manifest is None:
+        print(f"error: {args.store} contains no sweep run", file=sys.stderr)
+        return 1
+    ok = {k: rec for k, rec in cells.items() if rec.get("status") == "ok"}
+    failed = {k: rec for k, rec in cells.items() if rec.get("status") != "ok"}
+    retried = sum(1 for rec in cells.values() if rec.get("attempts", 1) > 1)
+
+    if not args.timing:
+        rows = [
+            [w, c, rec.get("status", "?"), str(rec.get("attempts", 1)),
+             _format_seconds(rec.get("elapsed"))]
+            for (w, c), rec in sorted(cells.items())
+        ]
+        print(format_table(["workload", "config", "status", "attempts", "wall"],
+                           rows, title=f"store: {args.store}"), file=out)
+        print(f"{len(cells)} cells: {len(ok)} ok, {len(failed)} failed, "
+              f"{retried} retried", file=out)
+        return 0
+
+    # --timing: rebuild the sweep's phase breakdown from the persisted
+    # per-cell telemetry (the same numbers `sweep --trace-out` plots).
+    telemetries = {
+        key: rec.get("telemetry") or (rec.get("failure") or {}).get("telemetry")
+        for key, rec in sorted(cells.items())
+    }
+    rows = []
+    for (w, c), tele in telemetries.items():
+        phases = (tele or {}).get("phases", {})
+        rows.append(
+            [w, c]
+            + [_format_seconds(phases[p][1]) if p in phases else "-" for p in PHASES]
+            + [_format_seconds(cells[(w, c)].get("elapsed"))]
+        )
+    print(
+        format_table(
+            ["workload", "config", *PHASES, "wall"],
+            rows,
+            title=f"time breakdown: {args.store}",
+        ),
+        file=out,
+    )
+    totals = aggregate_phases(telemetries.values())
+    if totals:
+        grand = sum(totals.values())
+        share = ", ".join(
+            f"{name} {dur:.3f}s ({dur / grand:.0%})" for name, dur in totals.items()
+        )
+        print(f"phase totals: {share}", file=out)
+    else:
+        print("no telemetry in this store (sweep ran without telemetry "
+              "collection; pass --progress/--trace-out/--log-json or run "
+              "inside a Telemetry context)", file=out)
+    return 0
 
 
 def _trace_cache_from(args) -> TraceCache:
@@ -394,6 +491,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_metrics(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
+        if args.command == "report":
+            return _cmd_report(args, out)
         if args.command == "trace":
             return _cmd_trace(args, out)
     except Exception as exc:  # surfaced as a clean CLI error

@@ -1,0 +1,34 @@
+"""Observability layer: metrics, tracing, progress, structured logs.
+
+The paper's argument rests on measuring time *between events*; this
+package gives the reproduction the same discipline about its own
+runtime.  Four small modules, all ambient-context based so
+instrumented code pays near-zero cost when nothing is listening:
+
+- :mod:`~repro.obs.metrics` — hierarchical counters/gauges/timers
+  behind a :class:`Telemetry` context (no-op by default);
+- :mod:`~repro.obs.tracing` — span API emitting Chrome trace-event
+  JSON viewable in ``chrome://tracing`` / Perfetto;
+- :mod:`~repro.obs.progress` — live sweep progress lines on stderr;
+- :mod:`~repro.obs.logging` — structured JSONL event log shared by the
+  runner, the checkpoint store, and the trace cache.
+"""
+
+from .logging import JsonlLogger, current_logger
+from .metrics import NULL_TELEMETRY, Telemetry, aggregate_phases, current
+from .progress import SweepObserver, SweepProgress
+from .tracing import ChromeTrace, build_sweep_trace, validate_chrome_trace
+
+__all__ = [
+    "ChromeTrace",
+    "JsonlLogger",
+    "NULL_TELEMETRY",
+    "SweepObserver",
+    "SweepProgress",
+    "Telemetry",
+    "aggregate_phases",
+    "build_sweep_trace",
+    "current",
+    "current_logger",
+    "validate_chrome_trace",
+]

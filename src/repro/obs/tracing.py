@@ -1,0 +1,288 @@
+"""Chrome trace-event export: spans viewable in chrome://tracing / Perfetto.
+
+:class:`ChromeTrace` accumulates events in the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_
+(the JSON-object flavor: ``{"traceEvents": [...]}``) and writes them as
+one JSON file.  Timestamps are wall-clock epoch seconds converted to
+microsecond offsets from a fixed origin, so spans recorded by
+*different processes* (sweep workers) land on one consistent timeline.
+
+Two ways to add spans:
+
+- :meth:`ChromeTrace.span` — a live context manager for parent-side
+  phases (prewarm, sweep total);
+- :func:`build_sweep_trace` — post-hoc conversion of the per-cell
+  phase telemetry a :class:`~repro.sim.runner.SweepReport` carries,
+  giving one lane (``tid``) per worker process with nested
+  spawn/synthesis/simulate/serialize spans per cell.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = ["ChromeTrace", "build_sweep_trace", "validate_chrome_trace"]
+
+#: pid used for all sweep lanes (one logical "sweep" process row).
+SWEEP_PID = 1
+
+#: tid of the parent/orchestrator lane; worker lanes count up from 1.
+MAIN_TID = 0
+
+
+class _Span:
+    """Live span: records a complete ("X") event when the block exits."""
+
+    __slots__ = ("_trace", "_name", "_pid", "_tid", "_args", "_start")
+
+    def __init__(self, trace: "ChromeTrace", name: str, pid: int, tid: int,
+                 args: Optional[Dict[str, Any]]) -> None:
+        self._trace = trace
+        self._name = name
+        self._pid = pid
+        self._tid = tid
+        self._args = args
+
+    def __enter__(self) -> "_Span":
+        self._start = time.time()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._trace.add_complete(
+            self._name, self._start, time.time() - self._start,
+            pid=self._pid, tid=self._tid, args=self._args,
+        )
+
+
+class ChromeTrace:
+    """An in-memory Chrome trace, written out as one JSON object.
+
+    Args:
+        origin: Epoch seconds subtracted from every timestamp so the
+            trace starts near t=0 (defaults to the construction time).
+            All helpers take *absolute* epoch seconds and convert.
+    """
+
+    def __init__(self, origin: Optional[float] = None) -> None:
+        self.origin = time.time() if origin is None else origin
+        self.events: List[Dict[str, Any]] = []
+        self._named: set = set()
+
+    # -- low-level event emission -------------------------------------------
+
+    def _ts(self, epoch_seconds: float) -> float:
+        return round((epoch_seconds - self.origin) * 1e6, 3)
+
+    def add_complete(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        *,
+        pid: int = SWEEP_PID,
+        tid: int = MAIN_TID,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """One complete ("X") event; *start*/*duration* in seconds."""
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": "X",
+            "ts": self._ts(start),
+            "dur": round(duration * 1e6, 3),
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def add_instant(
+        self,
+        name: str,
+        when: float,
+        *,
+        pid: int = SWEEP_PID,
+        tid: int = MAIN_TID,
+        args: Optional[Mapping[str, Any]] = None,
+    ) -> None:
+        """One instant ("i") event — used for retries/timeouts markers."""
+        event: Dict[str, Any] = {
+            "name": name,
+            "ph": "i",
+            "s": "t",  # thread-scoped marker
+            "ts": self._ts(when),
+            "pid": pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = dict(args)
+        self.events.append(event)
+
+    def set_process_name(self, pid: int, name: str) -> None:
+        self._metadata("process_name", pid, MAIN_TID, name)
+
+    def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        self._metadata("thread_name", pid, tid, name)
+
+    def _metadata(self, kind: str, pid: int, tid: int, name: str) -> None:
+        key = (kind, pid, tid)
+        if key in self._named:
+            return
+        self._named.add(key)
+        self.events.append(
+            {"name": kind, "ph": "M", "ts": 0, "pid": pid, "tid": tid,
+             "args": {"name": name}}
+        )
+
+    # -- live spans ----------------------------------------------------------
+
+    def span(self, name: str, *, pid: int = SWEEP_PID, tid: int = MAIN_TID,
+             **args: Any) -> _Span:
+        """Context manager measuring one span with wall-clock time."""
+        return _Span(self, name, pid, tid, args or None)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> Dict[str, Any]:
+        # Stable ordering (metadata first, then by timestamp) keeps the
+        # file diffable and viewer-friendly regardless of insert order.
+        ordered = sorted(
+            self.events, key=lambda e: (e["ph"] != "M", e["ts"], e["pid"], e["tid"])
+        )
+        return {"traceEvents": ordered, "displayTimeUnit": "ms"}
+
+    def write(self, path: Any) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_json(), fh, separators=(",", ":"))
+            fh.write("\n")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+# ---------------------------------------------------------------------------
+# Sweep telemetry -> trace conversion
+# ---------------------------------------------------------------------------
+
+
+def build_sweep_trace(report: Any, *, origin: Optional[float] = None) -> ChromeTrace:
+    """Convert a :class:`~repro.sim.runner.SweepReport` into a trace.
+
+    One lane per distinct worker process (serial sweeps collapse onto a
+    single lane), an enclosing span per cell, nested phase spans
+    (spawn/synthesis/simulate/serialize), instant markers for cells
+    that needed retries, and the parent's own phases (per-workload
+    prewarm, sweep total) on the main lane.
+
+    Cells replayed from a checkpoint store have no telemetry and are
+    simply absent from the trace.
+    """
+    cell_items: List[Tuple[str, Mapping[str, Any]]] = []
+    for key, tele in getattr(report, "cell_telemetry", {}).items():
+        if tele:
+            cell_items.append((f"{key[0]}:{key[1]}", tele))
+    for failure in getattr(report, "failures", []):
+        tele = getattr(failure, "telemetry", None)
+        if tele:
+            cell_items.append((f"{failure.workload}:{failure.config} (failed)", tele))
+
+    starts = [
+        start
+        for _label, tele in cell_items
+        for start, _dur in tele.get("phases", {}).values()
+    ]
+    sweep_tele = getattr(report, "telemetry", None) or {}
+    sweep_start = sweep_tele.get("started")
+    if origin is None:
+        candidates = list(starts)
+        if sweep_start is not None:
+            candidates.append(sweep_start)
+        origin = min(candidates) if candidates else None
+
+    trace = ChromeTrace(origin=origin)
+    trace.set_process_name(SWEEP_PID, "repro sweep")
+    trace.set_thread_name(SWEEP_PID, MAIN_TID, "main")
+
+    # Parent-side phases on the main lane.
+    for name, (start, dur) in sweep_tele.get("phases", {}).items():
+        trace.add_complete(name, start, dur, tid=MAIN_TID)
+
+    # One lane per worker process, in order of first appearance.
+    lanes: Dict[int, int] = {}
+
+    def lane_for(pid: Optional[int]) -> int:
+        if pid is None:
+            return MAIN_TID
+        tid = lanes.get(pid)
+        if tid is None:
+            tid = lanes[pid] = len(lanes) + 1
+            trace.set_thread_name(SWEEP_PID, tid, f"worker {tid} (pid {pid})")
+        return tid
+
+    cell_items.sort(
+        key=lambda item: min(
+            (s for s, _d in item[1].get("phases", {}).values()), default=0.0
+        )
+    )
+    for label, tele in cell_items:
+        tid = lane_for(tele.get("pid"))
+        phases = tele.get("phases", {})
+        if not phases:
+            continue
+        cell_start = min(start for start, _dur in phases.values())
+        cell_end = max(start + dur for start, dur in phases.values())
+        args = {"cell": label, "attempt": tele.get("attempt", 1)}
+        aps = tele.get("gauges", {}).get("simulator.accesses_per_sec")
+        if aps:
+            args["accesses_per_sec"] = round(aps)
+        trace.add_complete(label, cell_start, cell_end - cell_start, tid=tid, args=args)
+        for phase, (start, dur) in phases.items():
+            trace.add_complete(phase, start, dur, tid=tid, args={"cell": label})
+        if tele.get("attempt", 1) > 1:
+            trace.add_instant(
+                "retry", cell_start, tid=tid,
+                args={"cell": label, "attempt": tele["attempt"]},
+            )
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Schema validation (tests + CI artifact check)
+# ---------------------------------------------------------------------------
+
+_REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def validate_chrome_trace(obj: Any) -> List[str]:
+    """Structural check of a trace JSON object; returns problems found.
+
+    Not the full spec — exactly the invariants the viewers rely on:
+    top-level ``traceEvents`` list; every event has name/ph/ts/pid/tid;
+    ``X`` events carry a non-negative ``dur``; ``M`` metadata events
+    carry ``args.name``; timestamps are finite numbers.
+    """
+    problems: List[str] = []
+    if not isinstance(obj, dict) or not isinstance(obj.get("traceEvents"), list):
+        return ["top level must be an object with a 'traceEvents' list"]
+    for i, event in enumerate(obj["traceEvents"]):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in _REQUIRED_KEYS:
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        ph = event.get("ph")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts != ts or ts in (float("inf"), float("-inf")):
+            problems.append(f"{where}: non-finite ts {ts!r}")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: 'X' event needs a non-negative dur, got {dur!r}")
+        elif ph == "M":
+            if not isinstance(event.get("args"), dict) or "name" not in event["args"]:
+                problems.append(f"{where}: metadata event needs args.name")
+    return problems

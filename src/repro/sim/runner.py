@@ -53,10 +53,15 @@ from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecu
 from concurrent.futures import wait as futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..common.config import MachineConfig, config_digest, paper_machine
 from ..common.errors import CellTimeoutError, ReproError, SimulationError
+from ..obs.logging import current_logger
+from ..obs.metrics import Telemetry
+from ..obs.metrics import current as current_telemetry
+from ..obs.progress import SweepObserver
 from ..traces.cache import TraceCache, resolve_cache
 from ..traces.workloads import SPEC2000, get_workload
 from .results import SimulationResult
@@ -117,8 +122,13 @@ class CellFailure:
     message: str
     traceback: str = ""
     attempts: int = 1
+    #: Telemetry snapshot of the failing attempt (phase timings and
+    #: counters collected up to the failure), when the sweep was
+    #: collecting telemetry and the worker lived to report it.
+    telemetry: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
+        """Serialize every field (the exact inverse of :meth:`from_dict`)."""
         return {
             "workload": self.workload,
             "config": self.config,
@@ -126,11 +136,19 @@ class CellFailure:
             "message": self.message,
             "traceback": self.traceback,
             "attempts": self.attempts,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CellFailure":
-        return cls(**data)
+        """Rebuild from :meth:`to_dict` output.
+
+        Tolerates records written by other versions: unknown keys are
+        ignored and absent optional fields keep their defaults, so old
+        stores load under new code and vice versa.
+        """
+        known = {f.name for f in dataclass_fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     def __str__(self) -> str:
         return (
@@ -157,10 +175,33 @@ class SweepReport:
     replayed: int = 0
     #: Attempts used per completed/failed cell key.
     attempts: Dict[CellKey, int] = field(default_factory=dict)
+    #: Per-cell telemetry (phase timings, counters) for cells executed
+    #: with telemetry collection on; replayed cells are absent.
+    cell_telemetry: Dict[CellKey, Dict[str, Any]] = field(default_factory=dict)
+    #: Sweep-level telemetry: ``started`` (epoch), ``phases`` (parent
+    #: prewarm/execute), merged worker ``counters``/``gauges``/``timers``.
+    telemetry: Optional[Dict[str, Any]] = None
+    #: Wall-clock seconds for the whole invocation.
+    wall_time: float = 0.0
 
     @property
     def ok_cells(self) -> int:
         return sum(len(configs) for configs in self.results.values())
+
+    @property
+    def retried(self) -> int:
+        """Cells that needed more than one attempt (completed or failed)."""
+        return sum(1 for n in self.attempts.values() if n > 1)
+
+    def summary(self) -> str:
+        """One-line human digest, shared by the CLI, logs, and tests."""
+        total = self.ok_cells + len(self.failures)
+        return (
+            f"{total} cells: {self.ok_cells} ok "
+            f"({self.replayed} replayed from store), "
+            f"{len(self.failures)} failed, "
+            f"{self.retried} retried in {self.wall_time:.1f}s"
+        )
 
     def raise_on_failure(self) -> None:
         """Raise :class:`SimulationError` summarizing failures, if any."""
@@ -180,8 +221,25 @@ class SweepReport:
 # ---------------------------------------------------------------------------
 
 
+def _new_cell_telemetry(attempt: int, submitted_at: Optional[float]) -> Dict[str, Any]:
+    """Fresh per-cell telemetry dict, with the spawn phase when known.
+
+    ``spawn`` measures parent-submit to worker-entry (process start
+    cost); it only exists on the subprocess engines.  Timestamps are
+    wall-clock epoch seconds so phases recorded by different processes
+    land on one timeline.
+    """
+    tele: Dict[str, Any] = {"pid": os.getpid(), "attempt": attempt, "phases": {}}
+    if submitted_at is not None:
+        tele["phases"]["spawn"] = [submitted_at, max(0.0, time.time() - submitted_at)]
+    return tele
+
+
 def _execute_cell(
-    spec: CellSpec, fault_hook: Optional[FaultHook], attempt: int
+    spec: CellSpec,
+    fault_hook: Optional[FaultHook],
+    attempt: int,
+    cell_telemetry: Optional[Dict[str, Any]] = None,
 ) -> SimulationResult:
     """Materialize the cell's trace and simulate it (runs in the worker).
 
@@ -189,41 +247,108 @@ def _execute_cell(
     the parent's prewarmed entry — retries and sibling cells share one
     materialization.  Without one (``trace_cache=False``) it is
     synthesized here, once per cell attempt, as before.
+
+    When *cell_telemetry* is given, the three worker phases are timed
+    into it (``synthesis``, ``simulate``, ``serialize`` — the last is
+    one :meth:`SimulationResult.to_dict`, the conversion every store
+    write and report pays) and an ambient :class:`Telemetry` captures
+    the cell's counters (trace-cache outcomes, simulator throughput).
+    The dict is filled in place so a raising phase still leaves the
+    completed phases for failure records.  ``cell_telemetry=None`` is
+    the untimed original path.
     """
     workload = get_workload(spec.workload)
     total = spec.length + spec.warmup
-    if spec.trace_cache is not None:
-        cache = TraceCache(root=spec.trace_cache)
-        trace = cache.get_or_build(spec.workload, total, spec.seed)
-    else:
-        trace = workload.build(length=total, seed=spec.seed)
-    if fault_hook is not None:
-        fault_hook(spec.workload, spec.config_name, attempt)
-    kwargs = dict(spec.config)
-    kwargs.setdefault("ipa", workload.ipa)
-    kwargs.setdefault("warmup", spec.warmup)
-    if spec.machine is not None:
-        kwargs.setdefault("machine", spec.machine)
-    return simulate(trace, **kwargs)  # type: ignore[arg-type]
+    if cell_telemetry is None:
+        if spec.trace_cache is not None:
+            cache = TraceCache(root=spec.trace_cache)
+            trace = cache.get_or_build(spec.workload, total, spec.seed)
+        else:
+            trace = workload.build(length=total, seed=spec.seed)
+        if fault_hook is not None:
+            fault_hook(spec.workload, spec.config_name, attempt)
+        kwargs = dict(spec.config)
+        kwargs.setdefault("ipa", workload.ipa)
+        kwargs.setdefault("warmup", spec.warmup)
+        if spec.machine is not None:
+            kwargs.setdefault("machine", spec.machine)
+        return simulate(trace, **kwargs)  # type: ignore[arg-type]
+
+    phases = cell_telemetry.setdefault("phases", {})
+
+    def timed(name):  # records [epoch_start, duration] under *name*
+        class _Phase:
+            def __enter__(self_inner):
+                self_inner.start = time.time()
+                self_inner.t0 = time.perf_counter()
+                return self_inner
+
+            def __exit__(self_inner, *exc):
+                phases[name] = [self_inner.start,
+                                time.perf_counter() - self_inner.t0]
+
+        return _Phase()
+
+    with Telemetry() as tele:
+        try:
+            with timed("synthesis"):
+                if spec.trace_cache is not None:
+                    cache = TraceCache(root=spec.trace_cache)
+                    trace = cache.get_or_build(spec.workload, total, spec.seed)
+                else:
+                    trace = workload.build(length=total, seed=spec.seed)
+            if fault_hook is not None:
+                fault_hook(spec.workload, spec.config_name, attempt)
+            kwargs = dict(spec.config)
+            kwargs.setdefault("ipa", workload.ipa)
+            kwargs.setdefault("warmup", spec.warmup)
+            if spec.machine is not None:
+                kwargs.setdefault("machine", spec.machine)
+            with timed("simulate"):
+                result = simulate(trace, **kwargs)  # type: ignore[arg-type]
+            with timed("serialize"):
+                result.to_dict()
+        finally:
+            snapshot = tele.snapshot()
+            cell_telemetry["counters"] = snapshot["counters"]
+            cell_telemetry["gauges"] = snapshot["gauges"]
+            cell_telemetry["timers"] = snapshot["timers"]
+    return result
 
 
-def _cell_worker(spec, fault_hook, attempt, conn) -> None:  # pragma: no cover — child
+def _run_attempt(
+    spec: CellSpec,
+    fault_hook: Optional[FaultHook],
+    attempt: int,
+    submitted_at: Optional[float],
+    collect: bool,
+) -> _Outcome:
+    """Execute one attempt and fold the result/exception into an outcome.
+
+    Shared by all three engines (it is the function the pool engine
+    submits), so the outcome shape — including the trailing telemetry
+    slot — is identical everywhere.
+    """
+    tele = _new_cell_telemetry(attempt, submitted_at) if collect else None
+    try:
+        result = _execute_cell(spec, fault_hook, attempt, tele)
+    except Exception as exc:
+        return (
+            "error",
+            type(exc).__name__,
+            str(exc),
+            traceback.format_exc(),
+            _is_transient(exc),
+            tele,
+        )
+    return ("ok", result, tele)
+
+
+def _cell_worker(spec, fault_hook, attempt, conn, submitted_at,
+                 collect) -> None:  # pragma: no cover — child
     """Dedicated-process entry point: send outcome over *conn* and exit."""
     try:
-        try:
-            result = _execute_cell(spec, fault_hook, attempt)
-        except Exception as exc:
-            conn.send(
-                (
-                    "error",
-                    type(exc).__name__,
-                    str(exc),
-                    traceback.format_exc(),
-                    _is_transient(exc),
-                )
-            )
-        else:
-            conn.send(("ok", result))
+        conn.send(_run_attempt(spec, fault_hook, attempt, submitted_at, collect))
     finally:
         conn.close()
 
@@ -252,8 +377,10 @@ def _backoff_delay(backoff: float, attempt: int, rng: random.Random) -> float:
     return backoff * (2 ** (attempt - 1)) * (0.5 + rng.random())
 
 
-# Internal per-attempt outcome: ("ok", result) | ("error", type, msg, tb,
-# transient) | ("crash", exitcode) | ("timeout",)
+# Internal per-attempt outcome: ("ok", result, telemetry) | ("error",
+# type, msg, tb, transient, telemetry) | ("crash", exitcode) |
+# ("timeout", budget).  The telemetry slot is None when collection is
+# off; crashed/timed-out workers never report one.
 _Outcome = Tuple[Any, ...]
 
 # Engine yield: (spec, outcome, attempts, elapsed_seconds)
@@ -293,8 +420,11 @@ class _RetryTracker:
 def _failure_from_outcome(spec: CellSpec, outcome: _Outcome, attempts: int) -> CellFailure:
     kind = outcome[0]
     if kind == "error":
-        _, error_type, message, tb, _transient = outcome
-        return CellFailure(spec.workload, spec.config_name, error_type, message, tb, attempts)
+        _, error_type, message, tb, _transient, telemetry = outcome
+        return CellFailure(
+            spec.workload, spec.config_name, error_type, message, tb, attempts,
+            telemetry=telemetry,
+        )
     if kind == "crash":
         exitcode = outcome[1]
         return CellFailure(
@@ -317,39 +447,35 @@ def _failure_from_outcome(spec: CellSpec, outcome: _Outcome, attempts: int) -> C
     raise AssertionError(f"unexpected outcome {outcome!r}")  # pragma: no cover
 
 
-def _error_outcome(exc: Exception) -> _Outcome:
-    return ("error", type(exc).__name__, str(exc), traceback.format_exc(), _is_transient(exc))
-
-
 # ---------------------------------------------------------------------------
 # Engines
 # ---------------------------------------------------------------------------
+
+
+#: Attempt-start notification: ``(spec, attempt)``; retries re-notify.
+_Notify = Callable[[CellSpec, int], None]
 
 
 def _run_serial(
     cells: Sequence[CellSpec],
     retry: _RetryTracker,
     fault_hook: Optional[FaultHook],
-    progress: Optional[CellProgress],
+    notify: Optional[_Notify],
+    collect: bool,
 ) -> Iterator[_CellDone]:
     """In-process serial engine (``workers == 1``, no timeout)."""
     for spec in cells:
         attempt = 1
         started = time.monotonic()
         while True:
-            if progress is not None:
-                progress(spec.workload, spec.config_name)
-            try:
-                result = _execute_cell(spec, fault_hook, attempt)
-            except Exception as exc:
-                outcome = _error_outcome(exc)
-                if retry.should_retry(outcome, attempt):
-                    time.sleep(retry.next_delay(attempt))
-                    attempt += 1
-                    continue
-                yield spec, outcome, attempt, time.monotonic() - started
-                break
-            yield spec, ("ok", result), attempt, time.monotonic() - started
+            if notify is not None:
+                notify(spec, attempt)
+            outcome = _run_attempt(spec, fault_hook, attempt, None, collect)
+            if outcome[0] != "ok" and retry.should_retry(outcome, attempt):
+                time.sleep(retry.next_delay(attempt))
+                attempt += 1
+                continue
+            yield spec, outcome, attempt, time.monotonic() - started
             break
 
 
@@ -358,7 +484,8 @@ def _run_pool(
     workers: int,
     retry: _RetryTracker,
     fault_hook: Optional[FaultHook],
-    progress: Optional[CellProgress],
+    notify: Optional[_Notify],
+    collect: bool,
 ) -> Iterator[_CellDone]:
     """ProcessPoolExecutor engine (``workers > 1``, no timeout).
 
@@ -383,11 +510,14 @@ def _run_pool(
             ready = [p for p in queue if p.ready_at <= now]
             for pending in ready:
                 queue.remove(pending)
-                if progress is not None:
-                    progress(pending.spec.workload, pending.spec.config_name)
+                if notify is not None:
+                    notify(pending.spec, pending.attempt)
                 if pending.started_at == 0.0:
                     pending.started_at = now
-                fut = executor.submit(_execute_cell, pending.spec, fault_hook, pending.attempt)
+                fut = executor.submit(
+                    _run_attempt, pending.spec, fault_hook, pending.attempt,
+                    time.time() if collect else None, collect,
+                )
                 in_flight[fut] = pending
             if not in_flight:
                 time.sleep(_POLL_INTERVAL)
@@ -396,15 +526,20 @@ def _run_pool(
             for fut in done:
                 pending = in_flight.pop(fut)
                 try:
-                    outcome: _Outcome = ("ok", fut.result())
+                    # _run_attempt returns a full outcome tuple ("ok" or
+                    # "error"); only pool-infrastructure failures raise.
+                    outcome: _Outcome = fut.result()
                 except BrokenProcessPool:
                     outcome = ("crash", "unknown (process pool broke)")
                     broken = True
                 except CancelledError:
                     # Pending in a pool that broke before this task started.
                     outcome = ("crash", "unknown (cancelled by broken pool)")
-                except Exception as exc:
-                    outcome = _error_outcome(exc)
+                except Exception as exc:  # e.g. result unpickling failure
+                    outcome = (
+                        "error", type(exc).__name__, str(exc),
+                        traceback.format_exc(), _is_transient(exc), None,
+                    )
                 if outcome[0] != "ok" and retry.should_retry(outcome, pending.attempt):
                     delay = retry.next_delay(pending.attempt)
                     queue.append(
@@ -429,12 +564,14 @@ def _run_pool(
 class _WorkerProc:
     """One dedicated worker process executing one cell attempt."""
 
-    def __init__(self, ctx, pending: _Pending, fault_hook, timeout: float) -> None:
+    def __init__(self, ctx, pending: _Pending, fault_hook, timeout: float,
+                 collect: bool = False) -> None:
         self.pending = pending
         self.recv_conn, send_conn = ctx.Pipe(duplex=False)
         self.process = ctx.Process(
             target=_cell_worker,
-            args=(pending.spec, fault_hook, pending.attempt, send_conn),
+            args=(pending.spec, fault_hook, pending.attempt, send_conn,
+                  time.time() if collect else None, collect),
             daemon=True,
         )
         self.process.start()
@@ -456,9 +593,7 @@ class _WorkerProc:
             self._finish()
             if message is None:
                 return ("crash", self.process.exitcode)
-            if message[0] == "ok":
-                return ("ok", message[1])
-            return message  # ("error", type, msg, tb, transient)
+            return message  # ("ok", result, tele) | ("error", type, msg, tb, transient, tele)
         if not alive:
             # Exited without a message in the pipe: a hard crash.
             self._finish()
@@ -488,7 +623,8 @@ def _run_processes(
     timeout: float,
     retry: _RetryTracker,
     fault_hook: Optional[FaultHook],
-    progress: Optional[CellProgress],
+    notify: Optional[_Notify],
+    collect: bool,
 ) -> Iterator[_CellDone]:
     """Dedicated-process engine: kill-capable, used whenever a timeout is set.
 
@@ -506,11 +642,11 @@ def _run_processes(
             while ready and len(running) < workers:
                 pending = ready.pop(0)
                 queue.remove(pending)
-                if progress is not None:
-                    progress(pending.spec.workload, pending.spec.config_name)
+                if notify is not None:
+                    notify(pending.spec, pending.attempt)
                 if pending.started_at == 0.0:
                     pending.started_at = now
-                running.append(_WorkerProc(ctx, pending, fault_hook, timeout))
+                running.append(_WorkerProc(ctx, pending, fault_hook, timeout, collect))
             made_progress = False
             for worker in list(running):
                 outcome = worker.poll(timeout)
@@ -565,6 +701,8 @@ def run_sweep(
     resume: bool = False,
     fault_hook: Optional[FaultHook] = None,
     trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = True,
+    observer: Optional[SweepObserver] = None,
+    telemetry: Optional[bool] = None,
 ) -> SweepReport:
     """Run a workload×config sweep fault-tolerantly.
 
@@ -597,6 +735,21 @@ def run_sweep(
             cache, each workload's trace is materialized at most once per
             sweep — prewarmed in the parent, then served mmap-backed to
             every worker, cell, and retry.
+        observer: :class:`~repro.obs.progress.SweepObserver` receiving
+            lifecycle hooks (sweep start/end, per-attempt cell starts,
+            per-cell completions) in the parent process — e.g. a
+            :class:`~repro.obs.progress.SweepProgress` for a live
+            status line.
+        telemetry: per-cell phase timing and counter collection.
+            ``None`` (default) turns it on exactly when someone is
+            listening — an ambient :class:`~repro.obs.metrics.Telemetry`
+            or :class:`~repro.obs.logging.JsonlLogger` context is
+            active, or an *observer* was passed; ``True``/``False``
+            force it.  When on, every executed cell's phase breakdown
+            (spawn/synthesis/simulate/serialize) lands in
+            ``report.cell_telemetry``, merged counters in
+            ``report.telemetry``, and — with a store — in each cell's
+            checkpoint record for ``repro report --timing``.
 
     Returns:
         A :class:`SweepReport`; failed cells appear in ``report.failures``
@@ -615,6 +768,19 @@ def run_sweep(
         get_workload(name)  # fail fast on unknown workloads
     resolved_warmup = length // 3 if warmup is None else warmup
 
+    # Telemetry collection: default on exactly when someone is listening.
+    ambient = current_telemetry()
+    logger = current_logger()
+    collect = (
+        telemetry
+        if telemetry is not None
+        else bool(ambient.enabled or logger.enabled or observer is not None)
+    )
+    sweep_started = time.time()
+    sweep_mono = time.monotonic()
+    parent_tele = Telemetry()
+    sweep_phases: Dict[str, List[float]] = {}
+
     cache = resolve_cache(trace_cache)
     cache_root: Optional[str] = None
     if cache is not None:
@@ -622,8 +788,16 @@ def run_sweep(
         # before any cell runs: workers then mmap the shared entries
         # instead of re-synthesizing per cell×retry.
         total = length + resolved_warmup
-        for name in names:
-            cache.prewarm(name, total, seed)
+        prewarm_start = time.time()
+        t0 = time.monotonic()
+        if collect:
+            with parent_tele:  # capture the parent's own cache counters
+                for name in names:
+                    cache.prewarm(name, total, seed)
+            sweep_phases["prewarm"] = [prewarm_start, time.monotonic() - t0]
+        else:
+            for name in names:
+                cache.prewarm(name, total, seed)
         cache_root = os.fspath(cache.root)
 
     cells = [
@@ -666,35 +840,90 @@ def run_sweep(
                     replayed[key] = SimulationResult.from_dict(record["result"])
 
         to_run = [cell for cell in cells if cell.key not in replayed]
+
+        # Attempt-start fan-out: user callback, observer, JSONL log.
+        notify: Optional[_Notify] = None
+        if progress is not None or observer is not None or logger.enabled:
+            def notify(spec: CellSpec, attempt: int) -> None:
+                if progress is not None:
+                    progress(spec.workload, spec.config_name)
+                if observer is not None:
+                    observer.on_cell_start(spec.workload, spec.config_name, attempt)
+                logger.event(
+                    "cell.start", workload=spec.workload, config=spec.config_name,
+                    attempt=attempt,
+                )
+
+        if observer is not None:
+            observer.on_sweep_start(len(to_run), workers)
+        logger.event(
+            "sweep.start", cells=len(cells), to_run=len(to_run),
+            replayed=len(replayed), workers=workers, workloads=names,
+            configs=list(configs),
+        )
+
+        execute_start = time.time()
+        t0 = time.monotonic()
         if not to_run:
             engine: Iterator[_CellDone] = iter(())
         elif timeout is not None:
-            engine = _run_processes(to_run, workers, timeout, retry, fault_hook, progress)
+            engine = _run_processes(
+                to_run, workers, timeout, retry, fault_hook, notify, collect
+            )
         elif workers > 1:
-            engine = _run_pool(to_run, workers, retry, fault_hook, progress)
+            engine = _run_pool(to_run, workers, retry, fault_hook, notify, collect)
         else:
-            engine = _run_serial(to_run, retry, fault_hook, progress)
+            engine = _run_serial(to_run, retry, fault_hook, notify, collect)
 
         completed: Dict[CellKey, SimulationResult] = dict(replayed)
         failures: List[CellFailure] = []
         attempts: Dict[CellKey, int] = {}
+        cell_telemetry: Dict[CellKey, Dict[str, Any]] = {}
         for spec, outcome, cell_attempts, elapsed in engine:
             attempts[spec.key] = cell_attempts
             if outcome[0] == "ok":
                 completed[spec.key] = outcome[1]
+                cell_tele = outcome[2] if len(outcome) > 2 else None
+                if cell_tele is not None:
+                    cell_telemetry[spec.key] = cell_tele
+                    parent_tele.merge(cell_tele)
                 if run_store is not None:
-                    run_store.record_result(
-                        spec.workload,
-                        spec.config_name,
-                        outcome[1],
-                        attempts=cell_attempts,
-                        elapsed=elapsed,
-                    )
+                    with parent_tele.timer("store.append_seconds"):
+                        run_store.record_result(
+                            spec.workload,
+                            spec.config_name,
+                            outcome[1],
+                            attempts=cell_attempts,
+                            elapsed=elapsed,
+                            telemetry=cell_tele,
+                        )
+                logger.event(
+                    "cell.ok", workload=spec.workload, config=spec.config_name,
+                    attempts=cell_attempts, elapsed=round(elapsed, 6),
+                )
             else:
                 failure = _failure_from_outcome(spec, outcome, cell_attempts)
                 failures.append(failure)
+                if failure.telemetry is not None:
+                    parent_tele.merge(failure.telemetry)
                 if run_store is not None:
                     run_store.record_failure(failure)
+                logger.event(
+                    "cell.failed", workload=spec.workload, config=spec.config_name,
+                    error_type=failure.error_type, attempts=cell_attempts,
+                    elapsed=round(elapsed, 6),
+                )
+            if observer is not None:
+                observer.on_cell_done(
+                    spec.workload,
+                    spec.config_name,
+                    outcome[0] == "ok",
+                    cell_attempts,
+                    elapsed,
+                    counters=(cell_telemetry.get(spec.key) or {}).get("counters"),
+                )
+        if collect:
+            sweep_phases["execute"] = [execute_start, time.monotonic() - t0]
     finally:
         if run_store is not None and owns_store:
             run_store.close()
@@ -705,10 +934,33 @@ def run_sweep(
             results.setdefault(cell.workload, {})[cell.config_name] = completed[cell.key]
         else:
             results.setdefault(cell.workload, {})
-    return SweepReport(
+
+    wall_time = time.monotonic() - sweep_mono
+    snapshot = parent_tele.snapshot()
+    report = SweepReport(
         results=results,
         failures=failures,
         executed=len(to_run),
         replayed=len(replayed),
         attempts=attempts,
+        cell_telemetry=cell_telemetry,
+        telemetry=(
+            {"started": sweep_started, "wall_time": wall_time,
+             "phases": sweep_phases, **snapshot}
+            if collect
+            else None
+        ),
+        wall_time=wall_time,
     )
+    if ambient.enabled and ambient is not parent_tele:
+        # Surface everything (worker counters included) to the caller's
+        # own Telemetry context.
+        ambient.merge(snapshot)
+    logger.event(
+        "sweep.end", ok=report.ok_cells, failed=len(failures),
+        retried=report.retried, replayed=len(replayed),
+        wall_time=round(wall_time, 6), summary=report.summary(),
+    )
+    if observer is not None:
+        observer.on_sweep_end(report)
+    return report

@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import gc as _gc
 from itertools import islice as _islice
+from time import perf_counter as _perf_counter
 from typing import Optional
+
+from ..obs.metrics import current as _telemetry_current
 
 from ..cache.cache import SetAssociativeCache
 from ..cache.hierarchy import MemoryHierarchy
@@ -297,6 +300,13 @@ class MemorySimulator:
             raise SimulationError("MemorySimulator instances are single-use; create a new one")
         if warmup < 0:
             raise SimulationError(f"warmup must be non-negative, got {warmup}")
+        # Throughput sampling: two clock reads around the whole run when
+        # an ambient Telemetry is active, nothing otherwise.  It never
+        # touches simulator state, so results are bitwise-identical with
+        # telemetry enabled and disabled (the equivalence harness runs
+        # both ways).
+        telemetry = _telemetry_current()
+        run_started = _perf_counter() if telemetry.enabled else 0.0
         rows = trace.rows()
         # The run allocates heavily (generation records, fetch results,
         # event tuples) but creates no reference cycles, so generational
@@ -315,6 +325,11 @@ class MemorySimulator:
             if gc_was_enabled:
                 _gc.enable()
         self._finished = True
+        if telemetry.enabled:
+            elapsed = _perf_counter() - run_started
+            telemetry.record("simulator.run_seconds", elapsed)
+            if elapsed > 0:
+                telemetry.gauge("simulator.accesses_per_sec", len(trace) / elapsed)
         return self._build_result(trace)
 
     def _consume(self, rows) -> None:

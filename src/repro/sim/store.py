@@ -150,19 +150,28 @@ class RunStore:
         *,
         attempts: int = 1,
         elapsed: float = 0.0,
+        telemetry: Optional[Mapping[str, Any]] = None,
     ) -> None:
-        """Append one completed cell (``result`` is a SimulationResult)."""
-        self._append(
-            {
-                "kind": "cell",
-                "workload": workload,
-                "config": config,
-                "status": "ok",
-                "attempts": attempts,
-                "elapsed": round(elapsed, 6),
-                "result": result.to_dict(),
-            }
-        )
+        """Append one completed cell (``result`` is a SimulationResult).
+
+        *telemetry* is the cell's phase-timing/counter dict from the
+        runner; persisting it is what lets ``repro report --timing``
+        rebuild a sweep's time breakdown from the store afterwards.
+        The key is simply absent for cells run without telemetry, and
+        readers must treat it as optional.
+        """
+        record = {
+            "kind": "cell",
+            "workload": workload,
+            "config": config,
+            "status": "ok",
+            "attempts": attempts,
+            "elapsed": round(elapsed, 6),
+            "result": result.to_dict(),
+        }
+        if telemetry is not None:
+            record["telemetry"] = dict(telemetry)
+        self._append(record)
 
     def record_failure(self, failure: "Any") -> None:
         """Append one failed cell (``failure`` is a CellFailure)."""

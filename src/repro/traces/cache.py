@@ -39,6 +39,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from ..common.errors import TraceError
+from ..obs.logging import current_logger
+from ..obs.metrics import current as current_telemetry
 from .trace import COLUMN_DTYPES, Trace
 from .workloads import GENERATOR_VERSION, build_workload
 
@@ -89,13 +91,22 @@ class TraceCache:
             hash pass per load; turn off only for trusted local roots.
 
     ``hits``/``misses`` count :meth:`get` outcomes — every kind of
-    validation failure is a miss.
+    validation failure is a miss.  ``integrity_failures`` counts the
+    subset of misses where an entry *existed on disk* but failed
+    validation (digest mismatch, truncated column, stale generator
+    version, recipe mismatch); ``rebuilds`` counts traces synthesized
+    by :meth:`get_or_build`.  All four also flow into the ambient
+    :mod:`~repro.obs.metrics` telemetry (``trace_cache.*``), and
+    integrity failures and rebuilds are logged to the ambient
+    :mod:`~repro.obs.logging` JSONL logger.
     """
 
     root: Path = field(default_factory=default_cache_root)
     verify: bool = True
     hits: int = 0
     misses: int = 0
+    rebuilds: int = 0
+    integrity_failures: int = 0
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -106,32 +117,49 @@ class TraceCache:
         """Load a cached trace, or None if absent/invalid (a miss)."""
         key = trace_key(workload, length, seed)
         entry = self.root / key
+        trace, reason = self._load(entry, workload, length, seed)
+        tele = current_telemetry()
+        if trace is not None:
+            self.hits += 1
+            tele.count("trace_cache.hit")
+            return trace
+        self.misses += 1
+        tele.count("trace_cache.miss")
+        if reason is not None and (entry / "meta.json").exists():
+            # The entry was present but unservable: corruption, a stale
+            # generator, or a hand-edited/colliding recipe.
+            self.integrity_failures += 1
+            tele.count("trace_cache.integrity_failure")
+            current_logger().event(
+                "trace_cache.integrity_failure",
+                workload=workload, length=length, seed=seed, key=key, reason=reason,
+            )
+        return None
+
+    def _load(
+        self, entry: Path, workload: str, length: int, seed: int
+    ) -> Tuple[Optional[Trace], Optional[str]]:
+        """(trace, None) on success; (None, reason) on any failure."""
         meta = self._load_valid_meta(entry, workload, length, seed)
         if meta is None:
-            self.misses += 1
-            return None
+            return None, "missing or invalid meta.json"
         columns = []
         for fname, dtype, digest in zip(_COLUMN_FILES, COLUMN_DTYPES, meta["digests"]):
             path = entry / fname
             if self.verify:
                 try:
                     if _file_digest(path) != digest:
-                        self.misses += 1
-                        return None
+                        return None, f"digest mismatch for {fname}"
                 except OSError:
-                    self.misses += 1
-                    return None
+                    return None, f"unreadable column {fname}"
             try:
                 col = np.load(path, mmap_mode="r", allow_pickle=False)
             except (OSError, ValueError):
-                self.misses += 1
-                return None
+                return None, f"unloadable column {fname}"
             if col.dtype != dtype or col.ndim != 1 or col.shape[0] != length:
-                self.misses += 1
-                return None
+                return None, f"malformed column {fname}"
             columns.append(col)
-        self.hits += 1
-        return Trace(*columns, name=workload, total_gap=meta.get("total_gap"))
+        return Trace(*columns, name=workload, total_gap=meta.get("total_gap")), None
 
     def _load_valid_meta(self, entry: Path, workload: str, length: int,
                          seed: int) -> Optional[dict]:
@@ -210,10 +238,16 @@ class TraceCache:
         cached = self.get(workload, length, seed)
         if cached is not None:
             return cached
-        if builder is None:
-            trace = build_workload(workload, length=length, seed=seed)
-        else:
-            trace = builder()
+        self.rebuilds += 1
+        current_telemetry().count("trace_cache.rebuild")
+        with current_telemetry().timer("trace_cache.build_seconds"):
+            if builder is None:
+                trace = build_workload(workload, length=length, seed=seed)
+            else:
+                trace = builder()
+        current_logger().event(
+            "trace_cache.rebuild", workload=workload, length=length, seed=seed,
+        )
         try:
             self.put(trace, workload, length, seed)
         except OSError:

@@ -122,6 +122,81 @@ class TestSweep:
         assert "running gzip:base" in capsys.readouterr().err
 
 
+class TestSweepTelemetry:
+    def test_trace_out_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.tracing import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["sweep", "--workloads", "gzip", "--configs", "base,victim_tk",
+                     "--length", "1200", "--trace-out", str(trace_path),
+                     "--quiet"]) == 0
+        assert "wrote Chrome trace" in capsys.readouterr().err
+        trace = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(trace) == []
+        names = {e["name"] for e in trace["traceEvents"]}
+        assert {"synthesis", "simulate", "serialize"} <= names
+
+    def test_log_json_writes_lifecycle_events(self, capsys, tmp_path):
+        import json
+
+        log_path = tmp_path / "events.jsonl"
+        assert main(["sweep", "--workloads", "gzip", "--configs", "base",
+                     "--length", "1200", "--log-json", str(log_path),
+                     "--quiet"]) == 0
+        kinds = [json.loads(line)["event"]
+                 for line in log_path.read_text().splitlines()]
+        assert kinds[0] == "sweep.start"
+        assert "cell.ok" in kinds
+        assert kinds[-1] == "sweep.end"
+
+    def test_progress_flag_renders_status_line(self, capsys):
+        assert main(["sweep", "--workloads", "gzip", "--configs", "base",
+                     "--length", "1200", "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/1]" in err
+        assert "ok=1 failed=0" in err
+
+
+class TestReport:
+    def _sweep_into(self, tmp_path, extra=()):
+        store = str(tmp_path / "run.jsonl")
+        assert main(["sweep", "--workloads", "gzip,eon", "--configs", "base",
+                     "--length", "1200", "--store", store, "--quiet",
+                     *extra]) == 0
+        return store
+
+    def test_status_table(self, capsys, tmp_path):
+        store = self._sweep_into(tmp_path)
+        capsys.readouterr()
+        assert main(["report", store]) == 0
+        out = capsys.readouterr().out
+        assert "gzip" in out and "eon" in out
+        assert "2 ok" in out
+
+    def test_timing_breakdown_from_store(self, capsys, tmp_path):
+        # --trace-out forces telemetry collection, so the store carries
+        # per-cell phase timings for the report to rebuild.
+        store = self._sweep_into(
+            tmp_path, extra=["--trace-out", str(tmp_path / "t.json")])
+        capsys.readouterr()
+        assert main(["report", store, "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "phase totals" in out
+        assert "simulate" in out
+
+    def test_timing_without_telemetry_explains_itself(self, capsys, tmp_path):
+        store = self._sweep_into(tmp_path)
+        capsys.readouterr()
+        assert main(["report", store, "--timing"]) == 0
+        assert "no telemetry in this store" in capsys.readouterr().out
+
+    def test_missing_store_is_clean_error(self, capsys, tmp_path):
+        assert main(["report", str(tmp_path / "absent.jsonl")]) == 1
+        assert "no sweep run" in capsys.readouterr().err
+
+
 class TestArgparse:
     def test_missing_command_exits_2(self):
         with pytest.raises(SystemExit) as exc:

@@ -1,0 +1,228 @@
+"""Telemetry collection through the sweep runner, and the observability
+additions to CellFailure/SweepReport.
+
+The heavier multi-process cases reuse the small workload set the other
+runner tests use so the suite stays fast.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.metrics import PHASES, Telemetry
+from repro.obs.logging import JsonlLogger
+from repro.sim.runner import CellFailure, SweepReport, run_sweep
+from repro.sim.store import RunStore
+
+CONFIGS = {"base": {}, "victim": {"victim_filter": "unfiltered"}}
+
+LENGTH = 1200
+
+
+def _permanent_fault(workload, config, attempt):
+    if config == "victim":
+        raise ConfigError("injected permanent fault")
+
+
+class TestCellFailureRoundTrip:
+    def _full_failure(self):
+        # One non-default value per field, built exhaustively so adding a
+        # field to CellFailure without serializing it fails this test.
+        values = {
+            "workload": "gzip",
+            "config": "boom",
+            "error_type": "RuntimeError",
+            "message": "injected",
+            "traceback": "Traceback (most recent call last): ...",
+            "attempts": 3,
+            "telemetry": {"pid": 123, "attempt": 3,
+                          "phases": {"synthesis": [1.0, 0.5]},
+                          "counters": {"trace_cache.miss": 1}},
+        }
+        assert set(values) == {f.name for f in dataclasses.fields(CellFailure)}
+        return CellFailure(**values)
+
+    def test_to_dict_serializes_every_field(self):
+        failure = self._full_failure()
+        data = failure.to_dict()
+        assert set(data) == {f.name for f in dataclasses.fields(CellFailure)}
+        for field in dataclasses.fields(CellFailure):
+            assert data[field.name] == getattr(failure, field.name)
+
+    def test_round_trip_is_exact(self):
+        failure = self._full_failure()
+        assert CellFailure.from_dict(failure.to_dict()) == failure
+
+    def test_round_trip_survives_json(self):
+        failure = self._full_failure()
+        data = json.loads(json.dumps(failure.to_dict()))
+        assert CellFailure.from_dict(data) == failure
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = self._full_failure().to_dict()
+        data["added_by_future_version"] = 42
+        assert CellFailure.from_dict(data) == self._full_failure()
+
+    def test_from_dict_defaults_absent_optional_fields(self):
+        failure = CellFailure.from_dict(
+            {"workload": "w", "config": "c", "error_type": "E", "message": "m"})
+        assert failure.traceback == ""
+        assert failure.attempts == 1
+        assert failure.telemetry is None
+
+
+class TestSweepReportSummary:
+    def test_plain_run(self):
+        report = SweepReport(results={"gzip": {"base": object(), "victim": object()}},
+                             wall_time=12.34)
+        assert report.summary() == ("2 cells: 2 ok (0 replayed from store), "
+                                    "0 failed, 0 retried in 12.3s")
+
+    def test_replayed_and_retried_and_failed(self):
+        report = SweepReport(
+            results={"gzip": {"base": object()}},
+            failures=[CellFailure("eon", "boom", "E", "m", attempts=2)],
+            replayed=1,
+            attempts={("gzip", "base"): 1, ("eon", "boom"): 2},
+            wall_time=0.96,
+        )
+        assert report.summary() == (
+            "2 cells: 1 ok (1 replayed from store), 1 failed, 1 retried in 1.0s"
+        )
+
+
+class TestSerialTelemetry:
+    def test_off_by_default_when_nobody_listens(self):
+        report = run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                           trace_cache=False)
+        assert report.cell_telemetry == {}
+        assert report.telemetry is None
+
+    def test_ambient_telemetry_enables_collection(self):
+        with Telemetry() as ambient:
+            report = run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                               trace_cache=False)
+        assert set(report.cell_telemetry) == {("gzip", "base"), ("gzip", "victim")}
+        for tele in report.cell_telemetry.values():
+            phases = tele["phases"]
+            # Serial engine: no spawn phase, and phases run in order.
+            assert set(phases) == {"synthesis", "simulate", "serialize"}
+            order = sorted(phases, key=lambda name: phases[name][0])
+            assert order == ["synthesis", "simulate", "serialize"]
+            assert all(dur >= 0 for _start, dur in phases.values())
+        # Worker counters/timers fold into the ambient collector.
+        assert ambient.timers["simulator.run_seconds"].count == 2
+        assert report.telemetry["phases"]["execute"][1] > 0
+
+    def test_forced_off_wins_over_ambient(self):
+        with Telemetry():
+            report = run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                               trace_cache=False, telemetry=False)
+        assert report.cell_telemetry == {}
+
+    def test_results_identical_with_and_without_telemetry(self):
+        plain = run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                          trace_cache=False)
+        with Telemetry():
+            observed = run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                                 trace_cache=False)
+        for config in CONFIGS:
+            assert (plain.results["gzip"][config].to_dict()
+                    == observed.results["gzip"][config].to_dict())
+
+    def test_failed_cell_carries_telemetry_snapshot(self):
+        report = run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                           trace_cache=False, fault_hook=_permanent_fault,
+                           telemetry=True)
+        (failure,) = report.failures
+        assert failure.config == "victim"
+        # The fault hook fires after synthesis, so the snapshot holds the
+        # phases completed up to the failure.
+        assert "synthesis" in failure.telemetry["phases"]
+        assert "simulate" not in failure.telemetry["phases"]
+        # And the snapshot survives the to_dict round-trip used by stores.
+        assert CellFailure.from_dict(failure.to_dict()).telemetry == failure.telemetry
+
+
+class TestWorkerProcessTelemetry:
+    def test_counters_aggregate_across_worker_processes(self, tmp_path):
+        report = run_sweep(
+            CONFIGS, workloads=["gzip", "eon"], length=LENGTH, workers=2,
+            trace_cache=str(tmp_path / "cache"), telemetry=True,
+        )
+        assert not report.failures
+        assert len(report.cell_telemetry) == 4
+        pids = {tele["pid"] for tele in report.cell_telemetry.values()}
+        assert pids  # at least one worker process reported
+        for tele in report.cell_telemetry.values():
+            assert "spawn" in tele["phases"]  # subprocess engines measure spawn
+            assert set(tele["phases"]) <= set(PHASES)
+        merged = report.telemetry
+        # One simulator run per executed cell, summed across processes.
+        assert merged["timers"]["simulator.run_seconds"]["count"] == 4
+        # Every cell hit the prewarmed trace cache inside its worker (the
+        # parent's own prewarm lookups add a few more).
+        assert merged["counters"]["trace_cache.hit"] >= 4
+
+    def test_timeout_engine_records_spawn_phase(self, tmp_path):
+        report = run_sweep(
+            CONFIGS, workloads=["gzip"], length=LENGTH, workers=1, timeout=60.0,
+            trace_cache=str(tmp_path / "cache"), telemetry=True,
+        )
+        assert not report.failures
+        for tele in report.cell_telemetry.values():
+            assert tele["phases"]["spawn"][1] >= 0
+
+
+class TestStorePersistence:
+    def test_cell_telemetry_lands_in_the_store(self, tmp_path):
+        store_path = tmp_path / "run.jsonl"
+        with Telemetry():
+            run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                      trace_cache=False, store=store_path)
+        _manifest, cells = RunStore(store_path).load()
+        assert set(cells) == {("gzip", "base"), ("gzip", "victim")}
+        for record in cells.values():
+            assert set(record["telemetry"]["phases"]) == {
+                "synthesis", "simulate", "serialize"}
+
+    def test_no_telemetry_key_when_collection_is_off(self, tmp_path):
+        store_path = tmp_path / "run.jsonl"
+        run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                  trace_cache=False, store=store_path)
+        _manifest, cells = RunStore(store_path).load()
+        for record in cells.values():
+            assert "telemetry" not in record
+
+    def test_failure_telemetry_round_trips_through_store(self, tmp_path):
+        store_path = tmp_path / "run.jsonl"
+        run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                  trace_cache=False, store=store_path,
+                  fault_hook=_permanent_fault, telemetry=True)
+        _manifest, cells = RunStore(store_path).load()
+        record = cells[("gzip", "victim")]
+        assert record["status"] == "failed"
+        restored = CellFailure.from_dict(record["failure"])
+        assert restored.telemetry is not None
+        assert "synthesis" in restored.telemetry["phases"]
+
+
+class TestJsonlEventLog:
+    def test_sweep_emits_lifecycle_events(self, tmp_path):
+        log_path = tmp_path / "events.jsonl"
+        with JsonlLogger(log_path):
+            run_sweep(CONFIGS, workloads=["gzip"], length=LENGTH,
+                      trace_cache=False, fault_hook=_permanent_fault)
+        events = [json.loads(line) for line in log_path.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "sweep.start"
+        assert kinds[-1] == "sweep.end"
+        assert kinds.count("cell.start") == 2
+        assert kinds.count("cell.ok") == 1
+        assert kinds.count("cell.failed") == 1
+        failed = next(e for e in events if e["event"] == "cell.failed")
+        assert failed["error_type"] == "ConfigError"
+        end = events[-1]
+        assert end["ok"] == 1 and end["failed"] == 1

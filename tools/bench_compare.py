@@ -1,0 +1,215 @@
+"""Diff fresh benchmark runs against the committed ``BENCH_*.json`` baselines.
+
+Re-measures the probes those files record — simulator throughput and
+prefetch-path throughput from ``BENCH_hotpath.json``, vectorized
+100k-access trace synthesis per workload from ``BENCH_tracecache.json``
+— and fails (exit 1) when any probe regresses past the threshold
+(default 25% slower than the committed min).
+
+Faster-than-baseline results never fail; baselines are a regression
+guard, not a calibration target.  CI runners are slower and noisier
+than the machine the baselines were recorded on, so CI uses ``--smoke``
+(fewer rounds, a generous threshold) to catch order-of-magnitude
+regressions — pathological slowdowns, accidental O(n^2) — rather than
+chasing single-digit percentages.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_compare.py [--threshold 25] [--smoke]
+    PYTHONPATH=src python tools/bench_compare.py --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.sim.simulator import MemorySimulator, simulate
+from repro.traces.workloads import build_workload
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Baseline-relative regression threshold (percent) for a normal run.
+DEFAULT_THRESHOLD = 25.0
+
+#: Threshold used by --smoke: only flags pathological slowdowns, since
+#: CI hardware bears no relation to the baseline machine.
+SMOKE_THRESHOLD = 400.0
+
+SYNTH_WORKLOADS = ("gcc", "mcf", "twolf", "ammp")
+
+
+class Probe:
+    """One re-measurable benchmark with a path into a baseline file."""
+
+    def __init__(self, name: str, baseline_file: str, baseline_path: str,
+                 fn: Callable[[], Any]) -> None:
+        self.name = name
+        self.baseline_file = baseline_file
+        self.baseline_path = baseline_path  # dotted path to a min-ms number
+        self.fn = fn
+
+    def measure(self, rounds: int) -> float:
+        """Best-of-*rounds* wall time in milliseconds."""
+        best = float("inf")
+        for _ in range(rounds):
+            t0 = time.perf_counter()
+            self.fn()
+            best = min(best, time.perf_counter() - t0)
+        return best * 1e3
+
+
+def _probe_throughput() -> None:
+    trace = build_workload("gcc", length=20_000)
+    result = MemorySimulator(ipa=6.0, collect_metrics=True).run(trace)
+    assert result.accesses == 20_000
+
+
+def _probe_prefetch() -> None:
+    trace = build_workload("swim", length=20_000)
+    result = simulate(trace, ipa=3.0, prefetcher="timekeeping")
+    assert result.prefetch.issued > 0
+
+
+def _probe_synthesis(workload: str) -> Callable[[], Any]:
+    def fn() -> None:
+        trace = build_workload(workload, length=100_000, engine="vectorized")
+        assert len(trace) == 100_000
+    return fn
+
+
+def default_probes() -> List[Probe]:
+    probes = [
+        Probe("simulator_throughput", "BENCH_hotpath.json",
+              "results.test_perf_simulator_throughput.after_ms.min",
+              _probe_throughput),
+        Probe("simulator_with_prefetch", "BENCH_hotpath.json",
+              "results.test_perf_simulator_with_prefetch.after_ms.min",
+              _probe_prefetch),
+    ]
+    for name in SYNTH_WORKLOADS:
+        probes.append(
+            Probe(f"synthesis_100k.{name}", "BENCH_tracecache.json",
+                  f"synthesis_100k.{name}.vectorized_ms.min_ms",
+                  _probe_synthesis(name))
+        )
+    return probes
+
+
+def _dig(obj: Mapping[str, Any], dotted: str) -> Optional[float]:
+    node: Any = obj
+    for part in dotted.split("."):
+        if not isinstance(node, Mapping) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def load_baselines(root: Path, files: List[str]) -> Dict[str, Mapping[str, Any]]:
+    out: Dict[str, Mapping[str, Any]] = {}
+    for name in files:
+        path = root / name
+        if not path.exists():
+            print(f"warning: baseline {path} missing; its probes are skipped",
+                  file=sys.stderr)
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            out[name] = json.load(fh)
+    return out
+
+
+def compare(probes: List[Probe], baselines: Mapping[str, Mapping[str, Any]],
+            *, rounds: int, threshold: float) -> List[Dict[str, Any]]:
+    rows: List[Dict[str, Any]] = []
+    for probe in probes:
+        baseline_obj = baselines.get(probe.baseline_file)
+        baseline = (
+            _dig(baseline_obj, probe.baseline_path)
+            if baseline_obj is not None else None
+        )
+        if baseline is None:
+            rows.append({"probe": probe.name, "status": "skipped",
+                         "reason": f"no baseline at {probe.baseline_file}:"
+                                   f"{probe.baseline_path}"})
+            continue
+        current = probe.measure(rounds)
+        delta_pct = (current - baseline) / baseline * 100.0
+        rows.append({
+            "probe": probe.name,
+            "baseline_ms": round(baseline, 2),
+            "current_ms": round(current, 2),
+            "delta_pct": round(delta_pct, 1),
+            "status": "regressed" if delta_pct > threshold else "ok",
+        })
+    return rows
+
+
+def render(rows: List[Dict[str, Any]], threshold: float, out=sys.stdout) -> None:
+    width = max(len(r["probe"]) for r in rows) if rows else 5
+    print(f"{'probe':<{width}}  {'baseline':>10}  {'current':>10}  "
+          f"{'delta':>8}  status", file=out)
+    for row in rows:
+        if row["status"] == "skipped":
+            print(f"{row['probe']:<{width}}  {'-':>10}  {'-':>10}  {'-':>8}  "
+                  f"skipped ({row['reason']})", file=out)
+            continue
+        print(f"{row['probe']:<{width}}  {row['baseline_ms']:>8.2f}ms  "
+              f"{row['current_ms']:>8.2f}ms  {row['delta_pct']:>+7.1f}%  "
+              f"{row['status']}", file=out)
+    regressed = [r for r in rows if r["status"] == "regressed"]
+    if regressed:
+        names = ", ".join(r["probe"] for r in regressed)
+        print(f"\nFAIL: {len(regressed)} probe(s) regressed past "
+              f"{threshold:g}%: {names}", file=out)
+    else:
+        print(f"\nOK: no probe regressed past {threshold:g}%", file=out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare fresh benchmarks against committed BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="fail when a probe is this %% slower than its "
+                             f"baseline (default {DEFAULT_THRESHOLD:g}, "
+                             f"{SMOKE_THRESHOLD:g} with --smoke)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="timing rounds per probe, best-of (default 5, "
+                             "2 with --smoke)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: fewer rounds, generous threshold — "
+                             "catches pathological slowdowns only")
+    parser.add_argument("--baseline-dir", type=Path, default=REPO_ROOT,
+                        help="directory holding the BENCH_*.json files")
+    parser.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="also write the comparison rows as JSON")
+    args = parser.parse_args(argv)
+
+    threshold = args.threshold if args.threshold is not None else (
+        SMOKE_THRESHOLD if args.smoke else DEFAULT_THRESHOLD)
+    rounds = args.rounds if args.rounds is not None else (2 if args.smoke else 5)
+
+    probes = default_probes()
+    baselines = load_baselines(
+        args.baseline_dir, sorted({p.baseline_file for p in probes}))
+    rows = compare(probes, baselines, rounds=rounds, threshold=threshold)
+    render(rows, threshold)
+
+    if args.json:
+        payload = {"threshold_pct": threshold, "rounds": rounds, "rows": rows}
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+            fh.write("\n")
+
+    measured = [r for r in rows if r["status"] != "skipped"]
+    if not measured:
+        print("error: nothing measured (all baselines missing?)", file=sys.stderr)
+        return 2
+    return 1 if any(r["status"] == "regressed" for r in rows) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
