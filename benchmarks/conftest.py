@@ -1,25 +1,33 @@
 """Shared fixtures for the paper-reproduction benchmark harness.
 
 Each ``test_figXX_*`` benchmark regenerates one table or figure of the
-paper.  The heavy simulation work is shared through session-scoped
-fixtures (one characterization suite, one victim-cache suite, one
-prefetch suite); the rendered text of every figure is printed and also
-written to ``benchmarks/out/``.
+paper by evaluating the shared :class:`repro.figures.FigureSpec` from
+the registry — the same specs the ``repro paper`` pipeline runs — so
+the figure logic lives in exactly one place.  The heavy simulation work
+is shared through a session-scoped suite cache keyed by configuration
+name: each test only triggers the configurations its spec needs, and
+configurations shared between figures (every speedup figure's ``base``)
+are simulated once per session.
 
 Environment knobs:
 
-- ``REPRO_BENCH_LENGTH``: measured accesses per workload (default 40000;
+- ``REPRO_BENCH_LENGTH``: measured accesses per workload (default 60000;
   the warm-up adds half of this again).
-- ``REPRO_BENCH_WORKLOADS``: comma-separated subset of workloads.
+- ``REPRO_BENCH_WORKLOADS``: comma-separated subset of workloads (shape
+  checks guarding on absent workloads are skipped, not failed).
 """
 
 from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import Dict, Sequence
 
 import pytest
 
+from repro.figures.registry import CONFIGS
+from repro.figures.spec import FigureSpec
+from repro.sim.results import SimulationResult
 from repro.sim.sweep import run_suite
 from repro.traces.workloads import SPEC2000
 
@@ -40,55 +48,48 @@ def write_figure(name: str, text: str) -> None:
 
 
 @pytest.fixture(scope="session")
-def characterization_suite():
-    """Base (with metrics) + perfect-cache runs for every workload.
+def suite_builder():
+    """Session-scoped lazy suite cache, keyed by configuration name.
 
-    Feeds Figures 1, 2, 4, 5, 7, 8, 9, 10, 11, 14, 15, 16.
+    Returns a callable: ``suite_builder(("base", "perfect"))`` yields
+    ``{workload: {config: result}}``, simulating only the configurations
+    not already cached by an earlier test in the session.
     """
-    return run_suite(
-        {
-            "base": {"collect_metrics": True},
-            "perfect": {"perfect_non_cold": True},
-        },
-        workloads=WORKLOADS,
-        length=LENGTH,
-        warmup=WARMUP,
+    cache: Dict[str, Dict[str, SimulationResult]] = {}
+
+    def get(config_names: Sequence[str]):
+        missing = [c for c in config_names if c not in cache]
+        if missing:
+            results = run_suite(
+                {c: dict(CONFIGS[c]) for c in missing},
+                workloads=WORKLOADS,
+                length=LENGTH,
+                warmup=WARMUP,
+            )
+            for workload, cfgs in results.items():
+                for config, result in cfgs.items():
+                    cache.setdefault(config, {})[workload] = result
+        return {
+            w: {c: cache[c][w] for c in config_names}
+            for w in WORKLOADS
+        }
+
+    return get
+
+
+def run_spec(spec: FigureSpec, suite_builder, benchmark, out_name: str):
+    """Evaluate *spec* under the benchmark fixture; assert its checks.
+
+    The shared wrapper body of every ``test_fig*`` benchmark: build the
+    needed suite slice, time the figure derivation, persist the
+    rendering, and fail the test with the names of any failed shape
+    checks.
+    """
+    suite = suite_builder(spec.configs)
+    artifact = benchmark(lambda: spec.build(spec.subset(suite)))
+    write_figure(out_name, artifact.text)
+    failures = artifact.failures()
+    assert not failures, "; ".join(
+        f"{c.name}" + (f" ({c.detail})" if c.detail else "") for c in failures
     )
-
-
-@pytest.fixture(scope="session")
-def victim_suite():
-    """Base + three victim-cache variants (Figure 13)."""
-    return run_suite(
-        {
-            "base": {},
-            "victim": {"victim_filter": "unfiltered"},
-            "collins": {"victim_filter": "collins"},
-            "timekeeping": {"victim_filter": "timekeeping"},
-        },
-        workloads=WORKLOADS,
-        length=LENGTH,
-        warmup=WARMUP,
-    )
-
-
-@pytest.fixture(scope="session")
-def prefetch_suite():
-    """Base + timekeeping (8KB) + DBCP (2MB) prefetchers (Figs 19-21)."""
-    return run_suite(
-        {
-            "base": {},
-            "timekeeping": {"prefetcher": "timekeeping"},
-            "dbcp": {"prefetcher": "dbcp"},
-        },
-        workloads=WORKLOADS,
-        length=LENGTH,
-        warmup=WARMUP,
-    )
-
-
-def merged_metrics(characterization_suite):
-    """All-workload merged TimekeepingMetrics views used by the
-    distribution figures (the paper aggregates over the whole suite)."""
-    metrics = [res["base"].metrics for res in characterization_suite.values()]
-    return metrics
+    return artifact

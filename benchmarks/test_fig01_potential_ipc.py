@@ -4,40 +4,16 @@ capacity misses eliminated.
 Paper shape: improvements range from ~0% (eon) to ~350% (art/mcf); the
 programs sort from compute-bound integer codes up to memory-bound
 scientific/pointer codes.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG01``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import bar_chart
-from repro.analysis import paper_targets
-from repro.sim.sweep import speedups
+from repro.figures.registry import FIG01
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_fig01_potential_ipc(characterization_suite, benchmark):
-    def build():
-        return speedups(characterization_suite, "perfect", "base")
-
-    potential = benchmark(build)
-    ordered = dict(sorted(potential.items(), key=lambda kv: kv[1]))
-    rows = {
-        f"{name} (paper ~{paper_targets.FIG1_POTENTIAL.get(name, 0):.0%})": value
-        for name, value in ordered.items()
-    }
-    text = bar_chart(
-        rows,
-        title="Figure 1 — potential IPC improvement, all conflict+capacity "
-        "misses removed (measured vs paper)",
-        fmt="{:+.1%}",
-    )
-    write_figure("fig01_potential_ipc", text)
-
-    # Shape assertions: low-stall programs near zero, memory-bound large.
-    for name in ("eon", "sixtrack", "vortex", "galgel"):
-        if name in potential:
-            assert potential[name] < 0.25
-    for name in ("swim", "ammp", "mcf"):
-        if name in potential:
-            assert potential[name] > 0.5
-    # Paper ordering: the big-potential group dominates the low group.
-    if "ammp" in potential and "gzip" in potential:
-        assert potential["ammp"] > 10 * potential["gzip"]
+def test_fig01_potential_ipc(suite_builder, benchmark):
+    run_spec(FIG01, suite_builder, benchmark, "fig01_potential_ipc")

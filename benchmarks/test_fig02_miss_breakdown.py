@@ -3,42 +3,16 @@
 Paper shape: programs with the biggest potential improvement (right
 side of Figure 1) have comparatively more capacity misses; the
 low-potential integer codes are conflict-dominated.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG02``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import stacked_bars
-from repro.common.types import MissClass
-from repro.sim.sweep import speedups
+from repro.figures.registry import FIG02
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_fig02_miss_breakdown(characterization_suite, benchmark):
-    def build():
-        rows = {}
-        for name, results in characterization_suite.items():
-            mc = results["base"].miss_counts
-            rows[name] = [mc.conflict, mc.cold, mc.capacity]
-        return rows
-
-    rows = benchmark(build)
-    potential = speedups(characterization_suite, "perfect", "base")
-    ordered = {k: rows[k] for k in sorted(rows, key=lambda n: potential[n])}
-    text = stacked_bars(
-        ordered,
-        ["conflict", "cold", "capacity"],
-        title="Figure 2 — L1D miss breakdown (sorted by Fig-1 potential)",
-    )
-    write_figure("fig02_miss_breakdown", text)
-
-    def frac(name, kind):
-        mc = characterization_suite[name]["base"].miss_counts
-        return mc.fraction(kind)
-
-    # Conflict-dominated left side.
-    for name in ("gzip", "vpr", "crafty"):
-        if name in rows:
-            assert frac(name, MissClass.CONFLICT) > 0.6
-    # Capacity-dominated right side.
-    for name in ("swim", "ammp", "applu", "mcf"):
-        if name in rows:
-            assert frac(name, MissClass.CAPACITY) > 0.5
+def test_fig02_miss_breakdown(suite_builder, benchmark):
+    run_spec(FIG02, suite_builder, benchmark, "fig02_miss_breakdown")

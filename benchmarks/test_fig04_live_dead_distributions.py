@@ -3,39 +3,16 @@ generations.
 
 Paper shape: live times cluster near zero (58% below 100 cycles) while
 dead times are much longer (only 31% below 100 cycles).
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG04``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import distribution_rows
-from repro.core.metrics import TIME_BIN
+from repro.figures.registry import FIG04
 
-from conftest import merged_metrics, write_figure
+from conftest import run_spec
 
 
-def test_fig04_live_dead_distributions(characterization_suite, benchmark):
-    def build():
-        metrics = merged_metrics(characterization_suite)
-        live = metrics[0].live_time
-        dead = metrics[0].dead_time
-        for m in metrics[1:]:
-            live = live.merged(m.live_time)
-            dead = dead.merged(m.dead_time)
-        return live, dead
-
-    live, dead = benchmark(build)
-    text = "\n".join([
-        "Figure 4 — live time distribution (x100-cycle bins)",
-        distribution_rows(live.fractions(), TIME_BIN),
-        f"  fraction below 100 cycles: {live.fraction_below(100):.1%} (paper: 58%)",
-        "",
-        "Figure 4 — dead time distribution (x100-cycle bins)",
-        distribution_rows(dead.fractions(), TIME_BIN),
-        f"  fraction below 100 cycles: {dead.fraction_below(100):.1%} (paper: 31%)",
-    ])
-    write_figure("fig04_live_dead_distributions", text)
-
-    # Shape: live times concentrate at small values; dead times have a
-    # much heavier tail.
-    assert live.fraction_below(100) > dead.fraction_below(100)
-    assert live.fraction_below(100) > 0.35
-    assert dead.fractions()[-1] > live.fractions()[-1]  # overflow mass
-    assert dead.mean > live.mean
+def test_fig04_live_dead_distributions(suite_builder, benchmark):
+    run_spec(FIG04, suite_builder, benchmark, "fig04_live_dead_distributions")

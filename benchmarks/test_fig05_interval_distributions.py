@@ -4,36 +4,16 @@ Paper shape: 91% of access intervals are below 1000 cycles, while only
 24% of reload intervals are (note the reload axis is x1000 cycles) —
 the two populations are far apart, which is what makes idle-time
 dead-block prediction possible.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG05``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import distribution_rows
-from repro.core.metrics import RELOAD_BIN, TIME_BIN
+from repro.figures.registry import FIG05
 
-from conftest import merged_metrics, write_figure
+from conftest import run_spec
 
 
-def test_fig05_interval_distributions(characterization_suite, benchmark):
-    def build():
-        metrics = merged_metrics(characterization_suite)
-        access = metrics[0].access_interval
-        reload_ = metrics[0].reload_interval
-        for m in metrics[1:]:
-            access = access.merged(m.access_interval)
-            reload_ = reload_.merged(m.reload_interval)
-        return access, reload_
-
-    access, reload_ = benchmark(build)
-    text = "\n".join([
-        "Figure 5 — access interval distribution (x100-cycle bins)",
-        distribution_rows(access.fractions(), TIME_BIN),
-        f"  fraction below 1000 cycles: {access.fraction_below(1000):.1%} (paper: 91%)",
-        "",
-        "Figure 5 — reload interval distribution (x1000-cycle bins)",
-        distribution_rows(reload_.fractions(), RELOAD_BIN),
-        f"  fraction below 1000 cycles: {reload_.fraction_below(1000):.1%} (paper: 24%)",
-    ])
-    write_figure("fig05_interval_distributions", text)
-
-    assert access.fraction_below(1000) > 0.3
-    assert reload_.fraction_below(1000) < access.fraction_below(1000)
-    assert reload_.mean > access.mean
+def test_fig05_interval_distributions(suite_builder, benchmark):
+    run_spec(FIG05, suite_builder, benchmark, "fig05_interval_distributions")

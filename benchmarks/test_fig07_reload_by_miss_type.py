@@ -3,45 +3,16 @@
 Paper shape: conflict-miss reload intervals are small (~8K cycles on
 average) while capacity-miss reload intervals sit one to two orders of
 magnitude further out in the tail.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG07``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import distribution_rows
-from repro.common.types import MissClass
-from repro.core.metrics import RELOAD_BIN
+from repro.figures.registry import FIG07
 
-from conftest import merged_metrics, write_figure
+from conftest import run_spec
 
 
-def merge_by_class(metrics, attr, kind):
-    hist = getattr(metrics[0], attr)[kind]
-    for m in metrics[1:]:
-        hist = hist.merged(getattr(m, attr)[kind])
-    return hist
-
-
-def test_fig07_reload_by_miss_type(characterization_suite, benchmark):
-    def build():
-        metrics = merged_metrics(characterization_suite)
-        return (
-            merge_by_class(metrics, "reload_by_class", MissClass.CONFLICT),
-            merge_by_class(metrics, "reload_by_class", MissClass.CAPACITY),
-        )
-
-    conflict, capacity = benchmark(build)
-    text = "\n".join([
-        "Figure 7 — reload intervals preceding CONFLICT misses (x1000-cycle bins)",
-        distribution_rows(conflict.fractions(), RELOAD_BIN),
-        f"  mean: {conflict.mean:,.0f} cycles (paper: ~8000)",
-        "",
-        "Figure 7 — reload intervals preceding CAPACITY misses (x1000-cycle bins)",
-        distribution_rows(capacity.fractions(), RELOAD_BIN),
-        f"  mean: {capacity.mean:,.0f} cycles (paper: 1-2 orders larger)",
-    ])
-    write_figure("fig07_reload_by_miss_type", text)
-
-    assert conflict.total > 0 and capacity.total > 0
-    # Capacity reload intervals at least ~5x the conflict ones.
-    assert capacity.mean > 5 * conflict.mean
-    # Conflict mass concentrated at small reload intervals.
-    assert conflict.fraction_below(16_000) > 0.6
-    assert capacity.fraction_below(16_000) < 0.4
+def test_fig07_reload_by_miss_type(suite_builder, benchmark):
+    run_spec(FIG07, suite_builder, benchmark, "fig07_reload_by_miss_type")

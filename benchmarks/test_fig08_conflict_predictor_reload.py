@@ -4,41 +4,16 @@ prediction vs threshold.
 Paper shape: accuracy stays near-perfect up to a 16K-cycle threshold
 while coverage climbs to ~85%; accuracy drops clearly past the
 breakpoint, making 16K the natural operating point.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG08``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import format_table
-from repro.core.predictors.conflict import FIG8_THRESHOLDS, accuracy_coverage_curve
+from repro.figures.registry import FIG08
 
-from conftest import merged_metrics, write_figure
-
-
-def all_correlations(characterization_suite):
-    out = []
-    for metrics in merged_metrics(characterization_suite):
-        out.extend(metrics.miss_correlations)
-    return out
+from conftest import run_spec
 
 
-def test_fig08_conflict_predictor_reload(characterization_suite, benchmark):
-    correlations = all_correlations(characterization_suite)
-
-    def build():
-        return accuracy_coverage_curve(correlations, "reload", FIG8_THRESHOLDS)
-
-    rows = benchmark(build)
-    text = format_table(
-        ["reload threshold (cycles)", "accuracy", "coverage"],
-        [[t, a, c] for t, a, c in rows],
-        title="Figure 8 — conflict prediction by reload interval",
-    )
-    write_figure("fig08_conflict_predictor_reload", text)
-
-    by_threshold = {t: (a, c) for t, a, c in rows}
-    # Accuracy high at and below the paper's 16K operating point.
-    assert by_threshold[16_000][0] > 0.8
-    # Coverage grows monotonically with the threshold.
-    coverages = [c for _, _, c in rows]
-    assert coverages == sorted(coverages)
-    assert by_threshold[16_000][1] > 0.5
-    # Accuracy decays once capacity reloads are swallowed.
-    assert by_threshold[512_000][0] < by_threshold[16_000][0]
+def test_fig08_conflict_predictor_reload(suite_builder, benchmark):
+    run_spec(FIG08, suite_builder, benchmark, "fig08_conflict_predictor_reload")

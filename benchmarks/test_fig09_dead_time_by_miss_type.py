@@ -3,38 +3,16 @@
 Paper shape: like the reload intervals but less clear-cut — dead times
 preceding conflict misses are typically short ("prematurely evicted"),
 those preceding capacity misses much larger ("end of natural lifetime").
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG09``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import distribution_rows
-from repro.common.types import MissClass
-from repro.core.metrics import TIME_BIN
+from repro.figures.registry import FIG09
 
-from conftest import merged_metrics, write_figure
-from test_fig07_reload_by_miss_type import merge_by_class
+from conftest import run_spec
 
 
-def test_fig09_dead_time_by_miss_type(characterization_suite, benchmark):
-    def build():
-        metrics = merged_metrics(characterization_suite)
-        return (
-            merge_by_class(metrics, "dead_by_class", MissClass.CONFLICT),
-            merge_by_class(metrics, "dead_by_class", MissClass.CAPACITY),
-        )
-
-    conflict, capacity = benchmark(build)
-    text = "\n".join([
-        "Figure 9 — dead times preceding CONFLICT misses (x100-cycle bins)",
-        distribution_rows(conflict.fractions(), TIME_BIN),
-        f"  mean: {conflict.mean:,.0f} cycles",
-        "",
-        "Figure 9 — dead times preceding CAPACITY misses (x100-cycle bins)",
-        distribution_rows(capacity.fractions(), TIME_BIN),
-        f"  mean: {capacity.mean:,.0f} cycles",
-    ])
-    write_figure("fig09_dead_time_by_miss_type", text)
-
-    assert conflict.mean < capacity.mean
-    # Conflict dead times concentrate at small values relative to
-    # capacity dead times (the Figure-9 separation).
-    assert conflict.fraction_below(1000) > 0.3
-    assert capacity.fraction_below(1000) < conflict.fraction_below(1000)
+def test_fig09_dead_time_by_miss_type(suite_builder, benchmark):
+    run_spec(FIG09, suite_builder, benchmark, "fig09_dead_time_by_miss_type")

@@ -4,35 +4,16 @@ prediction vs threshold.
 Paper shape: >90% accuracy for thresholds of ~100 cycles at ~40%
 coverage; larger thresholds trade accuracy for coverage (walk down the
 accuracy curve to pick an operating point).
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG10``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import format_table
-from repro.core.predictors.conflict import FIG10_THRESHOLDS, accuracy_coverage_curve
+from repro.figures.registry import FIG10
 
-from conftest import write_figure
-from test_fig08_conflict_predictor_reload import all_correlations
+from conftest import run_spec
 
 
-def test_fig10_conflict_predictor_dead_time(characterization_suite, benchmark):
-    correlations = all_correlations(characterization_suite)
-
-    def build():
-        return accuracy_coverage_curve(correlations, "dead", FIG10_THRESHOLDS)
-
-    rows = benchmark(build)
-    text = format_table(
-        ["dead-time threshold (cycles)", "accuracy", "coverage"],
-        [[t, a, c] for t, a, c in rows],
-        title="Figure 10 — conflict prediction by dead time",
-    )
-    write_figure("fig10_conflict_predictor_dead_time", text)
-
-    by_threshold = {t: (a, c) for t, a, c in rows}
-    # Small thresholds: accurate.
-    assert by_threshold[100][0] > 0.75
-    # Coverage monotone; accuracy degrades toward huge thresholds.
-    coverages = [c for _, _, c in rows]
-    assert coverages == sorted(coverages)
-    assert by_threshold[51200][0] < by_threshold[100][0]
-    # The victim filter's 1K operating point keeps solid accuracy.
-    assert by_threshold[800][0] > 0.6
+def test_fig10_conflict_predictor_dead_time(suite_builder, benchmark):
+    run_spec(FIG10, suite_builder, benchmark, "fig10_conflict_predictor_dead_time")

@@ -3,46 +3,16 @@ predictor, per benchmark.
 
 Paper shape: high accuracy for many programs (geometric mean 68%) but
 low coverage (geomean ~30%), with no knob to trade one for the other.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG11``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import format_table
-from repro.common.stats import geometric_mean
-from repro.core.predictors.conflict import evaluate_zero_live_predictor
+from repro.figures.registry import FIG11
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_fig11_conflict_predictor_zero_live(characterization_suite, benchmark):
-    def build():
-        rows = {}
-        for name, results in characterization_suite.items():
-            cors = results["base"].metrics.miss_correlations
-            if not cors:
-                continue
-            stats = evaluate_zero_live_predictor(cors)
-            rows[name] = (stats.accuracy, stats.coverage, stats.actual_positives)
-        return rows
-
-    rows = benchmark(build)
-    conflicty = {k: v for k, v in rows.items() if v[2] >= 20}
-    text = format_table(
-        ["benchmark", "accuracy", "coverage", "conflict misses"],
-        [[n, a, c, p] for n, (a, c, p) in rows.items()],
-        title='Figure 11 — "live time = 0" conflict predictor',
-    )
-    accs = [v[0] for v in conflicty.values()]
-    covs = [v[1] for v in conflicty.values()]
-    text += (
-        f"\ngeomean accuracy (conflict-bearing benchmarks): "
-        f"{geometric_mean([a + 0.01 for a in accs]) - 0.01:.2f} (paper: 0.68)"
-        f"\ngeomean coverage: {geometric_mean([c + 0.01 for c in covs]) - 0.01:.2f} "
-        f"(paper: ~0.30)"
-    )
-    write_figure("fig11_conflict_predictor_zero_live", text)
-
-    # On benchmarks with a real conflict population, accuracy is high
-    # for the conflict-dominated ones.
-    for name in ("vpr", "crafty"):
-        if name in conflicty:
-            assert conflicty[name][0] > 0.5
-    assert conflicty  # at least some benchmarks evaluated
+def test_fig11_conflict_predictor_zero_live(suite_builder, benchmark):
+    run_spec(FIG11, suite_builder, benchmark, "fig11_conflict_predictor_zero_live")

@@ -4,67 +4,19 @@ filter.
 
 Paper shape: the timekeeping filter cuts victim-cache fill traffic by
 ~87% while matching or beating the unfiltered cache's IPC; conflict-
-heavy programs (middle of the chart) gain the most, capacity-heavy
-programs are hurt by an unfiltered victim cache but protected by either
-filter; timekeeping edges out Collins on IPC.
+heavy programs gain the most, capacity-heavy programs are hurt by an
+unfiltered victim cache but protected by either filter; timekeeping
+edges out Collins on IPC.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG13``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import format_table
-from repro.common.stats import geometric_mean
-from repro.sim.sweep import speedups
+from repro.figures.registry import FIG13
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_fig13_victim_cache(victim_suite, benchmark):
-    def build():
-        unfiltered = speedups(victim_suite, "victim", "base")
-        collins = speedups(victim_suite, "collins", "base")
-        timekeeping = speedups(victim_suite, "timekeeping", "base")
-        traffic = {}
-        for name, results in victim_suite.items():
-            base_fills = results["victim"].victim.fills
-            tk_fills = results["timekeeping"].victim.fills
-            traffic[name] = (base_fills, tk_fills)
-        return unfiltered, collins, timekeeping, traffic
-
-    unfiltered, collins, timekeeping, traffic = benchmark(build)
-
-    rows = []
-    for name in victim_suite:
-        base_fills, tk_fills = traffic[name]
-        cut = 1 - tk_fills / base_fills if base_fills else 0.0
-        rows.append([
-            name, f"{unfiltered[name]:+.1%}", f"{collins[name]:+.1%}",
-            f"{timekeeping[name]:+.1%}", f"{cut:.0%}",
-        ])
-    total_base = sum(t[0] for t in traffic.values())
-    total_tk = sum(t[1] for t in traffic.values())
-    overall_cut = 1 - total_tk / total_base if total_base else 0.0
-    text = format_table(
-        ["benchmark", "victim", "collins filter", "timekeeping filter",
-         "traffic cut"],
-        rows,
-        title="Figure 13 — victim cache IPC gain over base + fill-traffic "
-        "reduction of the timekeeping filter",
-    )
-    text += f"\noverall fill-traffic reduction: {overall_cut:.0%} (paper: 87%)"
-    gm = geometric_mean(list(timekeeping.values()), offset=1.0)
-    text += f"\ngeomean timekeeping-filter IPC gain: {gm:+.1%}"
-    write_figure("fig13_victim_cache", text)
-
-    # Conflict programs gain with any victim cache.
-    for name in ("vpr", "crafty"):
-        if name in unfiltered:
-            assert unfiltered[name] > 0.03
-            assert timekeeping[name] > 0.03
-    # Capacity programs: unfiltered hurts (or is flat), filters protect.
-    for name in ("swim", "ammp", "applu"):
-        if name in unfiltered:
-            assert unfiltered[name] < 0.01
-            assert timekeeping[name] >= unfiltered[name] - 1e-9
-    # The headline traffic cut: most fills rejected suite-wide.
-    assert overall_cut > 0.5
-    # Timekeeping at least matches Collins on average.
-    gm_collins = geometric_mean(list(collins.values()), offset=1.0)
-    assert gm >= gm_collins - 0.005
+def test_fig13_victim_cache(suite_builder, benchmark):
+    run_spec(FIG13, suite_builder, benchmark, "fig13_victim_cache")

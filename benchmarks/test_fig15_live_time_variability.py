@@ -3,47 +3,16 @@
 Paper shape: >20% of consecutive live-time differences are below 16
 cycles, and on average ~80% of live times are at most twice the
 previous one — the regularity the x2 scheduling heuristic exploits.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG15``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import format_table
-from repro.common.stats import abs_diff_histogram, ratio_cdf
+from repro.figures.registry import FIG15
 
-from conftest import merged_metrics, write_figure
-
-RATIO_BREAKPOINTS = [0.25, 0.5, 1.0, 2.0, 4.0, 16.0]
+from conftest import run_spec
 
 
-def test_fig15_live_time_variability(characterization_suite, benchmark):
-    def build():
-        pairs = []
-        for metrics in merged_metrics(characterization_suite):
-            pairs.extend(metrics.live_time_pairs)
-        diffs = abs_diff_histogram(pairs)
-        ratios = []
-        for metrics in merged_metrics(characterization_suite):
-            ratios.extend(metrics.live_time_ratios())
-        cdf = ratio_cdf(ratios, RATIO_BREAKPOINTS)
-        return pairs, diffs, cdf
-
-    pairs, diffs, cdf = benchmark(build)
-    edges = ["<=0", "<=16", "<=32", "<=64", "<=128", "<=256", "<=512",
-             "<=1024", "<=2048", "<=4096", "<=8192", ">8192"]
-    text = format_table(
-        ["|live - prev_live| (cycles)", "fraction"],
-        [[e, f] for e, f in zip(edges, diffs)],
-        title="Figure 15 (top) — absolute difference of consecutive live times",
-    )
-    text += "\n\n" + format_table(
-        ["live/prev_live <=", "cumulative fraction"],
-        [[bp, f] for bp, f in zip(RATIO_BREAKPOINTS, cdf)],
-        title="Figure 15 (bottom) — cumulative ratio of consecutive live times",
-    )
-    within_2x = cdf[RATIO_BREAKPOINTS.index(2.0)]
-    text += f"\nfraction of live times <= 2x previous: {within_2x:.1%} (paper: ~80%)"
-    write_figure("fig15_live_time_variability", text)
-
-    assert len(pairs) > 100
-    # Paper: a significant share (>20%) of differences below 16 cycles.
-    assert diffs[0] + diffs[1] > 0.2
-    # Paper: ~80% of live times within 2x of the previous.
-    assert within_2x > 0.6
+def test_fig15_live_time_variability(suite_builder, benchmark):
+    run_spec(FIG15, suite_builder, benchmark, "fig15_live_time_variability")

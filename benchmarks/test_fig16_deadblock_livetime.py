@@ -3,47 +3,16 @@
 Paper shape: average accuracy ~75% and coverage ~70% — both better than
 the decay predictor — with accuracy/coverage rising toward the
 capacity-dominated, high-potential programs on the right of the chart.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG16``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import format_table
-from repro.core.predictors.deadblock import LiveTimeDeadBlockPredictor
+from repro.figures.registry import FIG16
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_fig16_deadblock_livetime(characterization_suite, benchmark):
-    predictor = LiveTimeDeadBlockPredictor()  # the paper's x2 heuristic
-
-    def build():
-        rows = {}
-        for name, results in characterization_suite.items():
-            records = results["base"].metrics.generations
-            if len(records) < 50:
-                continue
-            stats = predictor.evaluate(records)
-            rows[name] = (stats.accuracy, stats.coverage, stats.total)
-        return rows
-
-    rows = benchmark(build)
-    text = format_table(
-        ["benchmark", "accuracy", "coverage", "generations"],
-        [[n, a, c, t] for n, (a, c, t) in rows.items()],
-        title="Figure 16 — live-time (x2) dead-block prediction",
-    )
-    avg_acc = sum(v[0] for v in rows.values()) / len(rows)
-    avg_cov = sum(v[1] for v in rows.values()) / len(rows)
-    text += (
-        f"\naverage accuracy: {avg_acc:.2f} (paper: ~0.75)"
-        f"\naverage coverage: {avg_cov:.2f} (paper: ~0.70)"
-    )
-    write_figure("fig16_deadblock_livetime", text)
-
-    assert rows
-    assert avg_acc > 0.5
-    assert avg_cov > 0.4
-    # The regular capacity streams are the best predicted (paper's
-    # rightward trend).
-    for name in ("swim", "ammp"):
-        if name in rows:
-            assert rows[name][0] > 0.8
-            assert rows[name][1] > 0.7
+def test_fig16_deadblock_livetime(suite_builder, benchmark):
+    run_spec(FIG16, suite_builder, benchmark, "fig16_deadblock_livetime")

@@ -1,65 +1,20 @@
 """Figure 19 — IPC improvement of timekeeping prefetch (8KB table) vs
 DBCP (2MB table).
 
-Paper shape: timekeeping prefetch wins on all SPEC2000 except mcf and
-ammp(-like table-size-hungry cases... in the paper, mcf and ammp favor
-DBCP in accuracy but timekeeping still reaches 11% suite-wide vs DBCP's
-7%); most capacity-heavy programs gain substantially (ammp the most),
-twolf/parser see little or slightly negative movement, and the 8KB
-table is two orders of magnitude smaller than DBCP's 2MB.
+Paper shape: timekeeping reaches 11% suite-wide vs DBCP's 7%; most
+capacity-heavy programs gain substantially (ammp the most), mcf favors
+the megabyte-scale DBCP table, and the 8KB table is two orders of
+magnitude smaller than DBCP's 2MB.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG19``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import format_table
-from repro.analysis import paper_targets
-from repro.common.stats import geometric_mean
-from repro.sim.sweep import speedups
+from repro.figures.registry import FIG19
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_fig19_prefetch_ipc(prefetch_suite, benchmark):
-    def build():
-        return (
-            speedups(prefetch_suite, "timekeeping", "base"),
-            speedups(prefetch_suite, "dbcp", "base"),
-        )
-
-    tk, dbcp = benchmark(build)
-    rows = []
-    for name in prefetch_suite:
-        paper = paper_targets.FIG22_IMPROVEMENT.get(name)
-        rows.append([
-            name, f"{tk[name]:+.1%}", f"{dbcp[name]:+.1%}",
-            f"{paper:+.0%}" if paper is not None else "-",
-        ])
-    gm_tk = geometric_mean(list(tk.values()), offset=1.0)
-    gm_dbcp = geometric_mean(list(dbcp.values()), offset=1.0)
-    text = format_table(
-        ["benchmark", "timekeeping 8KB", "DBCP 2MB", "paper (best mech.)"],
-        rows,
-        title="Figure 19 — prefetch IPC improvement over base",
-    )
-    text += (
-        f"\ngeomean timekeeping: {gm_tk:+.1%} (paper: +11%)"
-        f"\ngeomean DBCP: {gm_dbcp:+.1%} (paper: +7%)"
-    )
-    table_tk = next(iter(prefetch_suite.values()))["timekeeping"].prefetch.table_bytes
-    table_dbcp = next(iter(prefetch_suite.values()))["dbcp"].prefetch.table_bytes
-    text += f"\ntable sizes: timekeeping {table_tk} B vs DBCP {table_dbcp} B"
-    write_figure("fig19_prefetch_ipc", text)
-
-    # Suite-wide: timekeeping beats DBCP (paper 11% vs 7%).
-    assert gm_tk > gm_dbcp
-    assert gm_tk > 0.02
-    # The big regular-capacity winners gain a lot.
-    for name in ("swim", "ammp"):
-        if name in tk:
-            assert tk[name] > 0.2
-    # ammp is the biggest prefetch winner (paper +257%).
-    if "ammp" in tk:
-        assert tk["ammp"] == max(tk.values())
-    # mcf favors the megabyte-scale DBCP table (paper Section 5.2.3).
-    if "mcf" in tk:
-        assert dbcp["mcf"] > tk["mcf"]
-    # Table-size headline: two orders of magnitude smaller.
-    assert table_tk * 100 <= table_dbcp
+def test_fig19_prefetch_ipc(suite_builder, benchmark):
+    run_spec(FIG19, suite_builder, benchmark, "fig19_prefetch_ipc")

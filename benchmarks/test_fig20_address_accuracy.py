@@ -5,42 +5,16 @@ Paper shape: good accuracy/coverage for the regular codes (ammp best),
 low address accuracy for art and mcf (mcf needs megabyte tables), with
 coverage (predictor hit rate) high across the board thanks to
 constructive aliasing.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG20``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import format_table
-from repro.traces.workloads import BEST_PERFORMERS
+from repro.figures.registry import FIG20
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_fig20_address_accuracy(prefetch_suite, benchmark):
-    def build():
-        rows = {}
-        for name in BEST_PERFORMERS:
-            if name not in prefetch_suite:
-                continue
-            pf = prefetch_suite[name]["timekeeping"].prefetch
-            rows[name] = (pf.address_accuracy, pf.coverage)
-        return rows
-
-    rows = benchmark(build)
-    text = format_table(
-        ["benchmark", "address accuracy", "coverage (table hit rate)"],
-        [[n, a, c] for n, (a, c) in rows.items()],
-        title="Figure 20 — 8KB correlation table, eight best performers",
-    )
-    write_figure("fig20_address_accuracy", text)
-
-    assert rows
-    # Regular triads predict nearly perfectly.
-    for name in ("swim", "ammp"):
-        if name in rows:
-            assert rows[name][0] > 0.7
-            assert rows[name][1] > 0.6
-    # mcf's pointer chase defeats the small table (paper: low accuracy).
-    if "mcf" in rows and "ammp" in rows:
-        assert rows["mcf"][0] < 0.3
-        assert rows["mcf"][0] < rows["ammp"][0]
-    # art's noisy lookups drag accuracy down.
-    if "art" in rows and "swim" in rows:
-        assert rows["art"][0] < rows["swim"][0]
+def test_fig20_address_accuracy(suite_builder, benchmark):
+    run_spec(FIG20, suite_builder, benchmark, "fig20_address_accuracy")

@@ -4,59 +4,16 @@ Paper shape: the regular capacity codes are dominated by timely
 prefetches (ammp almost all timely); mgrid/facerec lose prefetches to
 lateness (short generations); art (and gcc) discard prefetches under
 bursty misses.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG21``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.report import stacked_bars
-from repro.common.types import PrefetchTimeliness
-from repro.traces.workloads import BEST_PERFORMERS
+from repro.figures.registry import FIG21
 
-from conftest import write_figure
-
-SEGMENTS = [
-    PrefetchTimeliness.EARLY,
-    PrefetchTimeliness.DISCARDED,
-    PrefetchTimeliness.TIMELY,
-    PrefetchTimeliness.LATE,
-    PrefetchTimeliness.NOT_STARTED,
-]
-SEGMENT_NAMES = ["early", "discarded", "timely", "late", "not_started"]
+from conftest import run_spec
 
 
-def test_fig21_prefetch_timeliness(prefetch_suite, benchmark):
-    def build():
-        correct_rows, wrong_rows = {}, {}
-        for name in BEST_PERFORMERS:
-            if name not in prefetch_suite:
-                continue
-            counts = prefetch_suite[name]["timekeeping"].prefetch.timeliness
-            correct_rows[name] = [counts.correct[s] for s in SEGMENTS]
-            wrong_rows[name] = [counts.wrong[s] for s in SEGMENTS]
-        return correct_rows, wrong_rows
-
-    correct_rows, wrong_rows = benchmark(build)
-    text = stacked_bars(
-        correct_rows, SEGMENT_NAMES,
-        title="Figure 21 (top) — timeliness of CORRECT address predictions",
-    )
-    text += "\n\n" + stacked_bars(
-        wrong_rows, SEGMENT_NAMES,
-        title="Figure 21 (bottom) — timeliness of WRONG address predictions",
-    )
-    write_figure("fig21_prefetch_timeliness", text)
-
-    assert correct_rows
-
-    def timely_share(rows, name):
-        values = rows[name]
-        total = sum(values)
-        return values[SEGMENTS.index(PrefetchTimeliness.TIMELY)] / total if total else 0.0
-
-    # ammp: very timely prefetches (paper: nearly all).
-    if "ammp" in correct_rows:
-        assert timely_share(correct_rows, "ammp") > 0.5
-    # Best performers with real predictor coverage resolve predictions
-    # (mcf's coverage is near zero at 8KB — its point in the paper).
-    for name, values in correct_rows.items():
-        pf = prefetch_suite[name]["timekeeping"].prefetch
-        if pf.coverage > 0.05:
-            assert sum(values) + sum(wrong_rows[name]) > 0
+def test_fig21_prefetch_timeliness(suite_builder, benchmark):
+    run_spec(FIG21, suite_builder, benchmark, "fig21_prefetch_timeliness")

@@ -4,46 +4,16 @@ Paper shape: conflict-dominated integer codes land in the victim-filter
 set, capacity-dominated codes in the prefetch set, a few (lucas, art)
 in both, and the compute-bound group (eon, vortex, galgel, sixtrack)
 has too few memory stalls for either to matter.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.FIG22``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.analysis.venn import classify_benchmarks
-from repro.analysis import paper_targets
-from repro.sim.sweep import speedups
+from repro.figures.registry import FIG22
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_fig22_venn_summary(characterization_suite, victim_suite,
-                            prefetch_suite, benchmark):
-    def build():
-        potential = speedups(characterization_suite, "perfect", "base")
-        victim = speedups(victim_suite, "timekeeping", "base")
-        prefetch = speedups(prefetch_suite, "timekeeping", "base")
-        return classify_benchmarks(potential, victim, prefetch,
-                                   stall_threshold=0.12)
-
-    summary = benchmark(build)
-    text = summary.render()
-    text += "\n\npaper sets for comparison:"
-    text += f"\n  few stalls      : {', '.join(sorted(paper_targets.FIG22_FEW_STALLS))}"
-    text += f"\n  victim helped   : {', '.join(sorted(paper_targets.FIG22_VICTIM_HELPED))}"
-    text += f"\n  prefetch helped : {', '.join(sorted(paper_targets.FIG22_PREFETCH_HELPED))}"
-    write_figure("fig22_venn_summary", text)
-
-    # Compute-bound group has few stalls.
-    for name in ("eon", "sixtrack"):
-        if name in summary.improvement:
-            assert name in summary.few_stalls
-    # Victim filter helps the conflict codes, prefetch the capacity codes.
-    for name in ("vpr", "crafty"):
-        if name in summary.improvement:
-            assert name in summary.victim_helped
-    # (mcf is prefetch-helped in the paper; here the 8KB table's
-    # coverage on our mcf stand-in is ~0 — it needs the 2MB DBCP, see
-    # the Figure 19/20 benches — so it is excluded from this check.)
-    for name in ("swim", "ammp", "gcc"):
-        if name in summary.improvement:
-            assert name in summary.prefetch_helped
-    # The two sets are largely complementary (paper: few programs in both).
-    both = summary.both_helped
-    assert len(both) <= len(summary.victim_helped | summary.prefetch_helped) / 2
+def test_fig22_venn_summary(suite_builder, benchmark):
+    run_spec(FIG22, suite_builder, benchmark, "fig22_venn_summary")

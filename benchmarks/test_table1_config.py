@@ -1,34 +1,17 @@
 """Table 1 — configuration of the simulated processor.
 
-Regenerates the paper's machine-configuration table and benchmarks
-machine construction (a pure-Python configuration object, so this also
-guards against accidental heavyweight init).
+Regenerates the paper's machine-configuration table; the spec's
+checks pin every Table-1 number.
+
+Thin wrapper: the figure logic lives in ``repro.figures.registry.TABLE1``
+(shared with the ``repro paper`` pipeline); this benchmark times the
+derivation and fails on any failed shape check.
 """
 
-from repro.common.config import paper_machine
-from repro.common.types import KB, MB
+from repro.figures.registry import TABLE1
 
-from conftest import write_figure
+from conftest import run_spec
 
 
-def test_table1_configuration(benchmark):
-    machine = benchmark(paper_machine)
-    text = "Table 1 — Configuration of Simulated Processor\n" + machine.describe()
-    write_figure("table1_config", text)
-
-    # Pin every Table-1 number.
-    assert machine.processor.issue_width == 8
-    assert machine.processor.window_size == 128
-    assert machine.l1d.size_bytes == 32 * KB
-    assert machine.l1d.associativity == 1
-    assert machine.l1d.block_size == 32
-    assert machine.l1_mshrs == 64
-    assert machine.l2.size_bytes == 1 * MB
-    assert machine.l2.associativity == 4
-    assert machine.l2.block_size == 64
-    assert machine.l2.hit_latency == 12
-    assert machine.l1_l2_bus.width_bytes == 32
-    assert machine.memory_bus.width_bytes == 64
-    assert machine.memory_latency == 70
-    assert machine.prefetch.mshrs == 32
-    assert machine.prefetch.queue_entries == 128
+def test_table1_config(suite_builder, benchmark):
+    run_spec(TABLE1, suite_builder, benchmark, "table1_config")

@@ -5,6 +5,10 @@ Shows the library as a downstream user would drive it: compose kernels
 into a trace, persist it, reload it, and run a custom machine
 configuration (a 2-way L1 instead of the paper's direct-mapped one).
 
+Custom traces plug straight into the rest of the stack; the
+pre-registered workloads feed `python -m repro paper`, the
+one-command reproduction of every figure.
+
 Run:  python examples/custom_workload.py
 """
 

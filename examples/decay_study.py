@@ -7,6 +7,9 @@ to save leakage.  This example sweeps the decay interval over two
 workloads with opposite reuse profiles and relates the result to the
 dead-time distribution that the timekeeping metrics expose.
 
+The full decay-backed figure (Figure 14) is regenerated, with
+every other figure, by `python -m repro paper`.
+
 Run:  python examples/decay_study.py
 """
 

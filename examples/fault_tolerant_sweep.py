@@ -7,6 +7,9 @@ injected into one cell, shows that the rest of the campaign survives,
 then resumes from the JSONL checkpoint store and re-runs only the
 failed cell.
 
+`python -m repro paper` builds on exactly this runner: the whole
+figure campaign is one checkpointed sweep, resumable the same way.
+
 Run:  python examples/fault_tolerant_sweep.py
 """
 

@@ -2,6 +2,10 @@
 """Quickstart: simulate a workload, read the timekeeping metrics, and
 try the paper's two mechanisms.
 
+To reproduce the paper's full evaluation in one command, see
+`python -m repro paper` (examples/reproduce_paper.py drives the
+same pipeline from the library API).
+
 Run:  python examples/quickstart.py
 """
 

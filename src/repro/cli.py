@@ -11,6 +11,8 @@ Usage (installed as ``python -m repro``):
         --workers 4 --store out.jsonl --resume \\
         --progress --trace-out trace.json --log-json events.jsonl
     python -m repro report out.jsonl --timing
+    python -m repro paper --out docs --progress
+    python -m repro paper --only fig13,fig19 --smoke --resume
     python -m repro trace build swim --length 60000
     python -m repro trace inspect
     python -m repro trace prewarm --workloads all --length 60000
@@ -121,6 +123,46 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="append structured JSONL events (cell starts/"
                             "finishes, retries, cache events) to FILE")
     _add_cache_args(sweep)
+
+    paper = sub.add_parser(
+        "paper",
+        help="reproduce the paper's full evaluation (Table 1 + Figures 1-22) "
+             "as one resumable sweep and generate docs/REPRODUCTION.md")
+    paper.add_argument("--only", default=None, metavar="IDS",
+                       help="comma-separated figure handles (e.g. fig13,fig19); "
+                            "default: every registered figure")
+    paper.add_argument("--list", action="store_true", dest="list_figures",
+                       help="list the registered figures and exit")
+    paper.add_argument("--out", default="docs", metavar="DIR",
+                       help="output directory for REPRODUCTION.md and the "
+                            "default checkpoint store (default: docs)")
+    paper.add_argument("--store", default=None,
+                       help="checkpoint store path (default: <out>/paper_store.jsonl)")
+    paper.add_argument("--resume", action="store_true",
+                       help="replay completed cells from the store, run the rest")
+    paper.add_argument("--smoke", action="store_true",
+                       help="reduced trace length for CI smoke runs")
+    paper.add_argument("--strict", action="store_true",
+                       help="exit 1 when any shape check fails (default: only "
+                            "failed cells are fatal)")
+    paper.add_argument("--length", type=int, default=None,
+                       help="measured accesses per cell (default: 60000, "
+                            "or 4000 with --smoke)")
+    paper.add_argument("--warmup", type=int, default=None,
+                       help="warm-up accesses (default: length/2)")
+    paper.add_argument("--seed", type=int, default=0)
+    paper.add_argument("--workers", type=int, default=1,
+                       help="worker processes (1 = serial in-process)")
+    paper.add_argument("--timeout", type=float, default=None,
+                       help="per-cell wall-clock budget in seconds")
+    paper.add_argument("--retries", type=int, default=0,
+                       help="retry transiently-failed cells this many times")
+    paper.add_argument("--workloads", default=None,
+                       help="restrict to these workloads (smoke subsets; "
+                            "checks on absent workloads are skipped)")
+    paper.add_argument("--progress", action="store_true",
+                       help="live progress line on stderr")
+    _add_cache_args(paper)
 
     report = sub.add_parser(
         "report",
@@ -349,6 +391,67 @@ def _cmd_sweep(args, out) -> int:
     return 1 if report.failures else 0
 
 
+def _cmd_paper(args, out) -> int:
+    from .figures import REGISTRY, run_paper
+
+    if args.list_figures:
+        rows = [
+            [spec.fig_id, spec.title, ",".join(spec.configs) or "-",
+             "all" if spec.workloads is None else str(len(spec.workloads))]
+            for spec in REGISTRY.values()
+        ]
+        print(format_table(["id", "title", "configs", "workloads"], rows,
+                           title="registered figures (repro paper --only <id,...>)"),
+              file=out)
+        return 0
+
+    only = None
+    if args.only:
+        only = [f.strip() for f in args.only.split(",") if f.strip()]
+    workloads = None
+    if args.workloads:
+        workloads = _resolve_workload_list(args.workloads)
+    trace_cache: object = True
+    if args.no_trace_cache:
+        trace_cache = False
+    elif args.cache_root:
+        trace_cache = args.cache_root
+    observer = SweepProgress(stream=sys.stderr) if args.progress else None
+
+    run = run_paper(
+        only=only,
+        out_dir=args.out,
+        store_path=args.store,
+        length=args.length,
+        seed=args.seed,
+        warmup=args.warmup,
+        smoke=args.smoke,
+        resume=args.resume,
+        workers=args.workers,
+        timeout=args.timeout,
+        retries=args.retries,
+        workloads=workloads,
+        trace_cache=trace_cache,
+        observer=observer,
+    )
+    for artifact in run.artifacts:
+        done = [c for c in artifact.checks if c.passed is not None]
+        passed = sum(1 for c in done if c.passed)
+        verdict = "PASS" if artifact.passed else "FAIL"
+        print(f"{verdict} {artifact.fig_id}: {passed}/{len(done)} checks", file=out)
+        for check in artifact.failures():
+            detail = f" ({check.detail})" if check.detail else ""
+            print(f"  FAIL {check.name}{detail}", file=out)
+    print(f"{run.executed} cells executed, {run.replayed} replayed, "
+          f"{run.failures} failed", file=out)
+    print(f"wrote {run.report_path} (store: {run.store_path})", file=out)
+    if run.failures:
+        return 1
+    if args.strict and not run.passed:
+        return 1
+    return 0
+
+
 def _format_seconds(seconds) -> str:
     return f"{seconds:.3f}s" if seconds is not None else "-"
 
@@ -377,10 +480,7 @@ def _cmd_report(args, out) -> int:
 
     # --timing: rebuild the sweep's phase breakdown from the persisted
     # per-cell telemetry (the same numbers `sweep --trace-out` plots).
-    telemetries = {
-        key: rec.get("telemetry") or (rec.get("failure") or {}).get("telemetry")
-        for key, rec in sorted(cells.items())
-    }
+    telemetries = store.telemetries()
     rows = []
     for (w, c), tele in telemetries.items():
         phases = (tele or {}).get("phases", {})
@@ -491,6 +591,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _cmd_metrics(args, out)
         if args.command == "sweep":
             return _cmd_sweep(args, out)
+        if args.command == "paper":
+            return _cmd_paper(args, out)
         if args.command == "report":
             return _cmd_report(args, out)
         if args.command == "trace":

@@ -98,6 +98,34 @@ class Histogram:
         out._sum = self._sum + other._sum
         return out
 
+    # -- serialization (checkpoint store) ------------------------------------
+
+    def to_dict(self) -> dict:
+        """Serialize to a JSON-able dict; the exact inverse of :meth:`from_dict`.
+
+        Counts are integers and the running sum is a binary64 float, so a
+        JSON round-trip reproduces the histogram bit-for-bit (``json``
+        serializes floats via ``repr``, which is lossless for binary64).
+        """
+        return {
+            "bin_width": self.bin_width,
+            "num_bins": self.num_bins,
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "total": self.total,
+            "sum": self._sum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        """Rebuild a histogram serialized by :meth:`to_dict`."""
+        out = cls(data["bin_width"], data["num_bins"])
+        out.counts = [int(c) for c in data["counts"]]
+        out.overflow = data["overflow"]
+        out.total = data["total"]
+        out._sum = data["sum"]
+        return out
+
 
 @dataclass
 class Summary:

@@ -19,7 +19,7 @@ at read time so one run feeds many figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..common.stats import Histogram
 from ..common.types import MissClass
@@ -176,3 +176,78 @@ class TimekeepingMetrics:
     def fraction_dead_below(self, cycles: int) -> float:
         """Fraction of dead times below *cycles* (paper quotes 31% < 100)."""
         return self.dead_time.fraction_below(cycles)
+
+    # -- serialization (checkpoint store) --------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a JSON-able dict; the exact inverse of :meth:`from_dict`.
+
+        Raw records serialize as compact integer rows (``None`` marks a
+        missing ``prev_live_time``) so the figure pipeline can rebuild
+        every characterization figure from the checkpoint store alone,
+        byte-identically to a fresh in-memory run.
+        """
+        return {
+            "live_time": self.live_time.to_dict(),
+            "dead_time": self.dead_time.to_dict(),
+            "access_interval": self.access_interval.to_dict(),
+            "reload_interval": self.reload_interval.to_dict(),
+            "reload_by_class": {
+                k.name: h.to_dict() for k, h in self.reload_by_class.items()
+            },
+            "dead_by_class": {
+                k.name: h.to_dict() for k, h in self.dead_by_class.items()
+            },
+            "live_by_class": {
+                k.name: h.to_dict() for k, h in self.live_by_class.items()
+            },
+            "miss_correlations": [
+                [c.miss_class.name, c.reload_interval, c.last_dead_time,
+                 c.last_live_time]
+                for c in self.miss_correlations
+            ],
+            "live_time_pairs": [list(pair) for pair in self.live_time_pairs],
+            "generations": [
+                [g.block_addr, g.start, g.live_time, g.dead_time, g.hit_count,
+                 g.max_access_interval, g.prev_live_time]
+                for g in self.generations
+            ],
+            "zero_live_generations": self.zero_live_generations,
+            "total_generations": self.total_generations,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "TimekeepingMetrics":
+        """Rebuild the collector state serialized by :meth:`to_dict`."""
+        out = cls(keep_generations=True)
+        out.live_time = Histogram.from_dict(data["live_time"])
+        out.dead_time = Histogram.from_dict(data["dead_time"])
+        out.access_interval = Histogram.from_dict(data["access_interval"])
+        out.reload_interval = Histogram.from_dict(data["reload_interval"])
+        out.reload_by_class = {
+            MissClass[k]: Histogram.from_dict(h)
+            for k, h in data["reload_by_class"].items()
+        }
+        out.dead_by_class = {
+            MissClass[k]: Histogram.from_dict(h)
+            for k, h in data["dead_by_class"].items()
+        }
+        out.live_by_class = {
+            MissClass[k]: Histogram.from_dict(h)
+            for k, h in data["live_by_class"].items()
+        }
+        out.miss_correlations = [
+            MissCorrelation(MissClass[kind], reload_iv, dead, live)
+            for kind, reload_iv, dead, live in data["miss_correlations"]
+        ]
+        out.live_time_pairs = [
+            (prev, cur) for prev, cur in data["live_time_pairs"]
+        ]
+        out.generations = [
+            GenerationRecord(addr, start, live, dead, hits, max_iv, prev_live)
+            for addr, start, live, dead, hits, max_iv, prev_live
+            in data["generations"]
+        ]
+        out.zero_live_generations = data["zero_live_generations"]
+        out.total_generations = data["total_generations"]
+        return out

@@ -62,6 +62,7 @@ class JsonlLogger:
     enabled = True
 
     def __init__(self, target: Union[PathLike, TextIO]) -> None:
+        """Log to a path (opened lazily, owned) or an open text stream."""
         if hasattr(target, "write"):
             self._fh: Optional[TextIO] = target  # type: ignore[assignment]
             self._owns = False
@@ -90,6 +91,7 @@ class JsonlLogger:
             self.events_written += 1
 
     def close(self) -> None:
+        """Close the file handle if this logger opened it."""
         with self._lock:
             if self._fh is not None and self._owns:
                 self._fh.close()

@@ -42,12 +42,14 @@ class TimerStats:
 
     def __init__(self, count: int = 0, total: float = 0.0,
                  min: float = float("inf"), max: float = 0.0) -> None:
+        """Start empty (or from prior aggregates, for merging)."""
         self.count = count
         self.total = total
         self.min = min
         self.max = max
 
     def add(self, seconds: float) -> None:
+        """Fold one observation into the aggregate."""
         self.count += 1
         self.total += seconds
         if seconds < self.min:
@@ -57,9 +59,11 @@ class TimerStats:
 
     @property
     def mean(self) -> float:
+        """Average seconds per observation (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> Dict[str, float]:
+        """Plain-dict form for snapshots and JSON serialization."""
         return {"count": self.count, "total": self.total,
                 "min": self.min if self.count else 0.0, "max": self.max}
 
@@ -142,6 +146,7 @@ class Telemetry:
     enabled = True
 
     def __init__(self) -> None:
+        """Start with empty counter/gauge/timer banks."""
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.timers: Dict[str, TimerStats] = {}
@@ -149,15 +154,19 @@ class Telemetry:
     # -- recording -----------------------------------------------------------
 
     def count(self, name: str, n: float = 1) -> None:
+        """Add *n* to the named counter (created at 0)."""
         self.counters[name] = self.counters.get(name, 0) + n
 
     def gauge(self, name: str, value: float) -> None:
+        """Set the named gauge (last write wins)."""
         self.gauges[name] = value
 
     def timer(self, name: str) -> _Timer:
+        """Context manager timing its block into the named timer."""
         return _Timer(self, name)
 
     def record(self, name: str, seconds: float) -> None:
+        """Fold an externally-measured duration into the named timer."""
         stats = self.timers.get(name)
         if stats is None:
             stats = self.timers[name] = TimerStats()

@@ -30,9 +30,11 @@ class SweepObserver:
     """No-op base class for sweep lifecycle hooks."""
 
     def on_sweep_start(self, total: int, workers: int) -> None:
+        """Called once before any cell runs."""
         return None
 
     def on_cell_start(self, workload: str, config: str, attempt: int) -> None:
+        """Called as each cell attempt begins (attempt counts from 1)."""
         return None
 
     def on_cell_done(
@@ -44,9 +46,11 @@ class SweepObserver:
         elapsed: float,
         counters: Optional[Mapping[str, float]] = None,
     ) -> None:
+        """Called when a cell finishes (successfully or exhausted)."""
         return None
 
     def on_sweep_end(self, report: Any) -> None:
+        """Called once with the finished :class:`SweepReport`."""
         return None
 
 
@@ -69,6 +73,7 @@ class SweepProgress(SweepObserver):
 
     def __init__(self, stream: Optional[TextIO] = None,
                  min_interval: float = 0.1) -> None:
+        """Bind to *stream* and detect whether it is a TTY."""
         self.stream = stream if stream is not None else sys.stderr
         self.min_interval = min_interval
         self.total = 0
@@ -91,12 +96,14 @@ class SweepProgress(SweepObserver):
     # -- observer hooks ------------------------------------------------------
 
     def on_sweep_start(self, total: int, workers: int) -> None:
+        """Record the campaign size and paint the initial line."""
         self.total = total
         self.workers = max(1, workers)
         self._started = time.monotonic()
         self._paint(force=True)
 
     def on_cell_start(self, workload: str, config: str, attempt: int) -> None:
+        """Repaint on retries so the retry count stays current."""
         if attempt > 1:
             self._paint()
 
@@ -109,6 +116,7 @@ class SweepProgress(SweepObserver):
         elapsed: float,
         counters: Optional[Mapping[str, float]] = None,
     ) -> None:
+        """Fold one finished cell into the tallies and repaint."""
         self.done += 1
         if ok:
             self.ok += 1
@@ -124,6 +132,7 @@ class SweepProgress(SweepObserver):
         self._paint()
 
     def on_sweep_end(self, report: Any) -> None:
+        """Final repaint, newline off the TTY line, report summary."""
         self._paint(force=True)
         if self._tty and self._line_len:
             self.stream.write("\n")
@@ -146,6 +155,7 @@ class SweepProgress(SweepObserver):
         return remaining * per_cell / self.workers
 
     def status_line(self) -> str:
+        """Render the one-line status: counts, ETA, cache hit rate."""
         width = len(str(self.total))
         parts = [
             f"[{self.done:>{width}}/{self.total}]",

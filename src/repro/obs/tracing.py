@@ -66,6 +66,7 @@ class ChromeTrace:
     """
 
     def __init__(self, origin: Optional[float] = None) -> None:
+        """Create an empty trace anchored at *origin* epoch seconds."""
         self.origin = time.time() if origin is None else origin
         self.events: List[Dict[str, Any]] = []
         self._named: set = set()
@@ -121,9 +122,11 @@ class ChromeTrace:
         self.events.append(event)
 
     def set_process_name(self, pid: int, name: str) -> None:
+        """Label a viewer lane (process row); idempotent per pid."""
         self._metadata("process_name", pid, MAIN_TID, name)
 
     def set_thread_name(self, pid: int, tid: int, name: str) -> None:
+        """Label a thread row within a lane; idempotent per (pid, tid)."""
         self._metadata("thread_name", pid, tid, name)
 
     def _metadata(self, kind: str, pid: int, tid: int, name: str) -> None:
@@ -146,6 +149,7 @@ class ChromeTrace:
     # -- serialization -------------------------------------------------------
 
     def to_json(self) -> Dict[str, Any]:
+        """The Chrome trace-event JSON object (``{"traceEvents": ...}``)."""
         # Stable ordering (metadata first, then by timestamp) keeps the
         # file diffable and viewer-friendly regardless of insert order.
         ordered = sorted(
@@ -154,6 +158,7 @@ class ChromeTrace:
         return {"traceEvents": ordered, "displayTimeUnit": "ms"}
 
     def write(self, path: Any) -> None:
+        """Serialize to *path*, compact, for chrome://tracing / Perfetto."""
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(self.to_json(), fh, separators=(",", ":"))
             fh.write("\n")

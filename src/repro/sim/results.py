@@ -30,6 +30,7 @@ class VictimStats:
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of victim-cache probes that hit."""
         return self.hits / self.probes if self.probes else 0.0
 
     def fill_traffic_per_cycle(self, cycles: int) -> float:
@@ -92,14 +93,17 @@ class SimulationResult:
 
     @property
     def ipc(self) -> float:
+        """Instructions per cycle from the timing model."""
         return self.timing.ipc
 
     @property
     def cycles(self) -> int:
+        """Total simulated cycles."""
         return self.timing.cycles
 
     @property
     def l1_miss_rate(self) -> float:
+        """L1 misses as a fraction of all accesses."""
         return self.l1_misses / self.accesses if self.accesses else 0.0
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
@@ -139,16 +143,19 @@ class SimulationResult:
 
     # -- serialization (checkpoint store) ------------------------------------
 
-    def to_dict(self) -> Dict[str, Any]:
+    def to_dict(self, *, include_metrics: bool = False) -> Dict[str, Any]:
         """Serialize into a JSON-able dict (see :meth:`from_dict`).
 
-        Everything except :attr:`metrics` round-trips: the generational
-        :class:`TimekeepingMetrics` object holds per-generation records
-        and histogram banks that are analysis-session state, not a
-        result summary, so the checkpoint store intentionally drops it
-        (``from_dict`` yields ``metrics=None``).
+        By default everything except :attr:`metrics` round-trips: the
+        generational :class:`TimekeepingMetrics` object holds
+        per-generation records and histogram banks that plain sweep
+        checkpoints do not need, so they drop it (``from_dict`` yields
+        ``metrics=None``).  ``include_metrics=True`` serializes the full
+        collector state as well — the figure pipeline uses this so every
+        characterization figure can be rebuilt from the checkpoint store
+        alone, byte-identically to the in-memory run.
         """
-        return {
+        out = {
             "version": RESULT_SCHEMA_VERSION,
             "name": self.name,
             "accesses": self.accesses,
@@ -172,14 +179,18 @@ class SimulationResult:
             "prefetch": None if self.prefetch is None else _prefetch_to_dict(self.prefetch),
             "decay": None if self.decay is None else asdict(self.decay),
         }
+        if include_metrics and self.metrics is not None:
+            out["metrics"] = self.metrics.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SimulationResult":
         """Rebuild a result serialized by :meth:`to_dict`.
 
         Raises :class:`SimulationError` for missing fields or an
-        unsupported schema version.  ``metrics`` is always ``None`` on
-        the way back (see :meth:`to_dict`).
+        unsupported schema version.  ``metrics`` round-trips only when
+        the result was serialized with ``include_metrics=True``;
+        otherwise it is ``None`` on the way back (see :meth:`to_dict`).
         """
         try:
             version = data["version"]
@@ -206,7 +217,11 @@ class SimulationResult:
                 miss_counts=_optional(MissCounts, data.get("miss_counts")),
                 victim=_optional(VictimStats, data.get("victim")),
                 prefetch=_prefetch_from_dict(data.get("prefetch")),
-                metrics=None,
+                metrics=(
+                    TimekeepingMetrics.from_dict(data["metrics"])
+                    if data.get("metrics") is not None
+                    else None
+                ),
                 l2_hits=data.get("l2_hits", 0),
                 l2_misses=data.get("l2_misses", 0),
                 memory_accesses=data.get("memory_accesses", 0),

@@ -104,9 +104,11 @@ class CellSpec:
 
     @property
     def key(self) -> CellKey:
+        """The ``(workload, config_name)`` identity of this cell."""
         return (self.workload, self.config_name)
 
     def label(self) -> str:
+        """Human-readable ``workload:config`` label for logs and errors."""
         return f"{self.workload}:{self.config_name}"
 
 
@@ -186,6 +188,7 @@ class SweepReport:
 
     @property
     def ok_cells(self) -> int:
+        """Number of cells with a usable result (executed or replayed)."""
         return sum(len(configs) for configs in self.results.values())
 
     @property
@@ -703,6 +706,7 @@ def run_sweep(
     trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = True,
     observer: Optional[SweepObserver] = None,
     telemetry: Optional[bool] = None,
+    store_metrics: bool = False,
 ) -> SweepReport:
     """Run a workload×config sweep fault-tolerantly.
 
@@ -750,6 +754,12 @@ def run_sweep(
             ``report.cell_telemetry``, merged counters in
             ``report.telemetry``, and — with a store — in each cell's
             checkpoint record for ``repro report --timing``.
+        store_metrics: persist each result's full
+            :class:`~repro.core.metrics.TimekeepingMetrics` state into
+            the checkpoint store (no effect without *store*).  Off by
+            default because metric banks dominate the record size; the
+            ``repro paper`` pipeline turns it on so every figure can be
+            derived from the store alone.
 
     Returns:
         A :class:`SweepReport`; failed cells appear in ``report.failures``
@@ -896,6 +906,7 @@ def run_sweep(
                             attempts=cell_attempts,
                             elapsed=elapsed,
                             telemetry=cell_tele,
+                            include_metrics=store_metrics,
                         )
                 logger.event(
                     "cell.ok", workload=spec.workload, config=spec.config_name,

@@ -73,6 +73,7 @@ class MemorySimulator:
         perfect_non_cold: bool = False,
         decay: Optional[DecayPolicy] = None,
     ) -> None:
+        """Assemble the machine: caches, timing, filters, predictors."""
         self.machine = machine if machine is not None else paper_machine()
         self.ipa = ipa
         self.l1 = SetAssociativeCache(self.machine.l1d)

@@ -51,6 +51,7 @@ class RunStore:
     """
 
     def __init__(self, path: PathLike) -> None:
+        """Bind to *path*; the file is opened lazily on first append."""
         self.path = os.fspath(path)
         self._fh = None
 
@@ -113,6 +114,21 @@ class RunStore:
                 )
         return manifest, cells
 
+    def telemetries(self) -> Dict[CellKey, Optional[Dict[str, Any]]]:
+        """Per-cell telemetry dicts, ``None`` for cells stored without any.
+
+        Looks in the right place for each cell status — ok cells carry
+        telemetry at the record top level, failed cells inside their
+        failure record — so multiple consumers (``repro report
+        --timing``, the ``repro paper`` phase breakdown) share one
+        extraction path.  Keys follow the store's sorted cell order.
+        """
+        _, cells = self.load()
+        return {
+            key: rec.get("telemetry") or (rec.get("failure") or {}).get("telemetry")
+            for key, rec in sorted(cells.items())
+        }
+
     # -- writing -------------------------------------------------------------
 
     def start(
@@ -151,6 +167,7 @@ class RunStore:
         attempts: int = 1,
         elapsed: float = 0.0,
         telemetry: Optional[Mapping[str, Any]] = None,
+        include_metrics: bool = False,
     ) -> None:
         """Append one completed cell (``result`` is a SimulationResult).
 
@@ -159,6 +176,12 @@ class RunStore:
         rebuild a sweep's time breakdown from the store afterwards.
         The key is simply absent for cells run without telemetry, and
         readers must treat it as optional.
+
+        *include_metrics* persists the result's full
+        :class:`~repro.core.metrics.TimekeepingMetrics` state inside the
+        record, so figure datasets can be derived from the store alone
+        (the ``repro paper`` pipeline's mode).  Plain sweeps leave it
+        off — metric banks dominate the record size.
         """
         record = {
             "kind": "cell",
@@ -167,7 +190,7 @@ class RunStore:
             "status": "ok",
             "attempts": attempts,
             "elapsed": round(elapsed, 6),
-            "result": result.to_dict(),
+            "result": result.to_dict(include_metrics=include_metrics),
         }
         if telemetry is not None:
             record["telemetry"] = dict(telemetry)
@@ -199,6 +222,7 @@ class RunStore:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        """Close the append handle; reads and reopening still work."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None

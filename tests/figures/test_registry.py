@@ -1,0 +1,91 @@
+"""The figure registry covers the paper and stays wired to the benchmarks."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.figures import registry
+from repro.figures.registry import CONFIGS, REGISTRY, get_spec, select_specs
+from repro.traces.workloads import SPEC2000
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+def spec_constant_name(fig_id):
+    """`fig01` -> `FIG01`, `table1` -> `TABLE1` (the registry convention)."""
+    return fig_id.upper()
+
+
+class TestDesignCoverage:
+    def test_every_design_figure_has_a_spec(self):
+        """Each measured row of DESIGN.md's per-experiment index is registered."""
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        rows = re.findall(
+            r"^\|\s*(Table 1|Fig \d+)\s*\|.*benchmarks/test_", design, re.MULTILINE
+        )
+        assert rows, "DESIGN.md per-experiment index not found"
+        for row in rows:
+            if row == "Table 1":
+                fig_id = "table1"
+            else:
+                fig_id = f"fig{int(row.split()[1]):02d}"
+            assert fig_id in REGISTRY, f"DESIGN.md lists {row} but REGISTRY lacks {fig_id}"
+
+    def test_registry_matches_design_exactly(self):
+        """No orphan specs either: the registry IS the DESIGN.md index."""
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        design_ids = set()
+        for row in re.findall(
+            r"^\|\s*(Table 1|Fig \d+)\s*\|.*benchmarks/test_", design, re.MULTILINE
+        ):
+            design_ids.add(
+                "table1" if row == "Table 1" else f"fig{int(row.split()[1]):02d}"
+            )
+        assert set(REGISTRY) == design_ids
+
+
+class TestSpecIntegrity:
+    @pytest.mark.parametrize("fig_id", list(REGISTRY))
+    def test_spec_is_well_formed(self, fig_id):
+        spec = REGISTRY[fig_id]
+        assert spec.fig_id == fig_id
+        assert spec.title
+        assert spec.paper_shape
+        assert set(spec.configs) <= set(CONFIGS)
+        if spec.workloads is not None:
+            assert set(spec.workloads) <= set(SPEC2000)
+
+    @pytest.mark.parametrize("fig_id", list(REGISTRY))
+    def test_benchmark_wrapper_imports_the_spec(self, fig_id):
+        """The named wrapper file exists and evaluates this very spec."""
+        spec = REGISTRY[fig_id]
+        wrapper = ROOT / spec.benchmark_file
+        assert wrapper.exists(), f"{spec.benchmark_file} missing"
+        source = wrapper.read_text(encoding="utf-8")
+        constant = spec_constant_name(fig_id)
+        assert re.search(
+            rf"from repro\.figures\.registry import .*\b{constant}\b", source
+        ), f"{spec.benchmark_file} does not import {constant}"
+        assert getattr(registry, constant) is spec
+
+    def test_registry_is_in_paper_order(self):
+        ids = list(REGISTRY)
+        assert ids[0] == "table1"
+        numbers = [int(i[3:]) for i in ids[1:]]
+        assert numbers == sorted(numbers)
+
+
+class TestSelection:
+    def test_default_selects_everything_in_order(self):
+        assert [s.fig_id for s in select_specs(None)] == list(REGISTRY)
+
+    def test_subset_keeps_registry_order(self):
+        specs = select_specs(["fig19", "fig02"])
+        assert [s.fig_id for s in specs] == ["fig02", "fig19"]
+
+    def test_unknown_handle_raises_with_hint(self):
+        with pytest.raises(KeyError, match="fig99"):
+            select_specs(["fig99"])
+        with pytest.raises(KeyError, match="table1"):
+            get_spec("bogus")

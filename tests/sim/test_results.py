@@ -135,6 +135,20 @@ class TestSerialization:
         assert back.timing == r.timing
         assert back.outcomes == r.outcomes
 
+    def test_metrics_roundtrip_when_included(self):
+        import json
+
+        from repro.sim.sweep import run_workload
+
+        r = run_workload("gzip", {"run": {"collect_metrics": True}}, length=1000)["run"]
+        data = json.loads(json.dumps(r.to_dict(include_metrics=True)))
+        back = SimulationResult.from_dict(data)
+        assert back.metrics is not None
+        assert back.metrics.to_dict() == r.metrics.to_dict()
+        # Re-serialization is stable — the property behind byte-identical
+        # report regeneration from a checkpoint store.
+        assert back.to_dict(include_metrics=True) == r.to_dict(include_metrics=True)
+
     def test_unsupported_version_rejected(self):
         from repro.common.errors import SimulationError
 
