@@ -1,0 +1,19 @@
+"""Repo-level pytest configuration.
+
+Registers the ``--chaos-seed`` option the chaos suite
+(``tests/chaos/``) derives its fault plans from: the default is a
+fixed seed so every CI run exercises the same plans, and the
+random-seed smoke job passes a fresh one (uploading the generated plan
+as an artifact when it fails, so a red run is reproducible).
+"""
+
+
+def pytest_addoption(parser):
+    """Add ``--chaos-seed`` (consumed by tests/chaos/conftest.py)."""
+    parser.addoption(
+        "--chaos-seed",
+        action="store",
+        default="1234",
+        help="seed for generated fault plans in tests/chaos/ "
+             "(fixed default keeps CI deterministic)",
+    )

@@ -5,7 +5,10 @@ The paper's headline comparisons are all N-workload x M-config
 campaigns.  This example runs one on worker processes with a fault
 injected into one cell, shows that the rest of the campaign survives,
 then resumes from the JSONL checkpoint store and re-runs only the
-failed cell.
+failed cell.  Cells that exhausted their retries are *poisoned* —
+replayed as failures on resume, not re-executed — until the resume
+passes ``retry_poisoned=True`` (CLI: ``--retry-poisoned``), the signal
+that the underlying bug is believed fixed.
 
 `python -m repro paper` builds on exactly this runner: the whole
 figure campaign is one checkpointed sweep, resumable the same way.
@@ -66,8 +69,10 @@ def main() -> None:
     for failure in report.failures:
         print(f"  FAILED {failure}")
 
-    # 2. Resume: completed cells replay from the store; only the failed
-    #    cell re-executes (the "bug" is fixed now: no crash hook).
+    # 2. Resume: completed cells replay from the store.  The failed
+    #    cell is poisoned — without retry_poisoned=True it would replay
+    #    as a failure instead of burning cycles on a known-bad cell.
+    #    The "bug" is fixed now (no crash hook), so we clear it:
     resumed = run_sweep(
         CONFIGS,
         workloads=WORKLOADS,
@@ -75,6 +80,7 @@ def main() -> None:
         workers=2,
         store=store,
         resume=True,
+        retry_poisoned=True,
     )
     print(f"\nresume: executed {resumed.executed} cell(s), "
           f"replayed {resumed.replayed} from {store}")

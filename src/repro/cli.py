@@ -24,6 +24,7 @@ errors exit 2 (argparse convention).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from contextlib import nullcontext
 from typing import List, Optional
@@ -107,10 +108,21 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-cell wall-clock budget in seconds")
     sweep.add_argument("--retries", type=int, default=0,
                        help="retry transiently-failed cells this many times")
+    sweep.add_argument("--hang-grace", type=float, default=None,
+                       help="recycle a worker that stops heartbeating for this "
+                            "many seconds (detects wedged workers, not just "
+                            "slow ones)")
+    sweep.add_argument("--max-failure-rate", type=float, default=None,
+                       metavar="FRAC",
+                       help="abort the sweep once more than FRAC of cells have "
+                            "failed (0-1; completed work stays resumable)")
     sweep.add_argument("--store", default=None,
                        help="JSONL checkpoint file (appended per finished cell)")
     sweep.add_argument("--resume", action="store_true",
                        help="replay completed cells from --store, run the rest")
+    sweep.add_argument("--retry-poisoned", action="store_true",
+                       help="on --resume, re-execute cells whose stored record "
+                            "is a failure (default: quarantine them)")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-cell progress on stderr")
     sweep.add_argument("--progress", action="store_true",
@@ -140,6 +152,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="checkpoint store path (default: <out>/paper_store.jsonl)")
     paper.add_argument("--resume", action="store_true",
                        help="replay completed cells from the store, run the rest")
+    paper.add_argument("--retry-poisoned", action="store_true",
+                       help="on --resume, re-execute cells whose stored record "
+                            "is a failure (default: quarantine them)")
     paper.add_argument("--smoke", action="store_true",
                        help="reduced trace length for CI smoke runs")
     paper.add_argument("--strict", action="store_true",
@@ -171,6 +186,10 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--timing", action="store_true",
                         help="per-cell spawn/synthesis/simulate/serialize "
                              "breakdown from the stored telemetry")
+    report.add_argument("--repair", action="store_true",
+                        help="quarantine corrupt/superseded lines to the "
+                             ".quarantine sidecar and compact the store "
+                             "before reporting")
 
     trace = sub.add_parser(
         "trace",
@@ -357,8 +376,11 @@ def _cmd_sweep(args, out) -> int:
             workers=args.workers,
             timeout=args.timeout,
             retries=args.retries,
+            hang_grace=args.hang_grace,
+            max_failure_rate=args.max_failure_rate,
             store=args.store,
             resume=args.resume,
+            retry_poisoned=args.retry_poisoned,
             progress=progress,
             trace_cache=trace_cache,
             observer=observer,
@@ -387,8 +409,11 @@ def _cmd_sweep(args, out) -> int:
     )
     print(report.summary(), file=out)
     for failure in report.failures:
-        print(f"FAILED {failure}", file=out)
-    return 1 if report.failures else 0
+        tag = "POISONED" if failure.poisoned else "FAILED"
+        print(f"{tag} {failure}", file=out)
+    if report.aborted:
+        print(f"aborted: {report.abort_reason}", file=out)
+    return 1 if report.failures or report.aborted else 0
 
 
 def _cmd_paper(args, out) -> int:
@@ -427,6 +452,7 @@ def _cmd_paper(args, out) -> int:
         warmup=args.warmup,
         smoke=args.smoke,
         resume=args.resume,
+        retry_poisoned=args.retry_poisoned,
         workers=args.workers,
         timeout=args.timeout,
         retries=args.retries,
@@ -456,9 +482,43 @@ def _format_seconds(seconds) -> str:
     return f"{seconds:.3f}s" if seconds is not None else "-"
 
 
+def _print_quarantine_summary(load, store, out) -> None:
+    """One line on unusable store lines, and how to clean them up."""
+    poisoned = sum(
+        1 for rec in load.cells.values()
+        if (rec.get("failure") or {}).get("poisoned")
+        or rec.get("status") == "failed"
+    )
+    if poisoned:
+        print(f"{poisoned} failed cell(s) will be quarantined on resume "
+              f"(re-run them with --retry-poisoned)", file=out)
+    issues = len(load.quarantined) + (1 if load.torn_tail is not None else 0)
+    if issues:
+        print(f"WARNING: {issues} unusable line(s) detected "
+              f"(run `repro report --repair` to quarantine them to "
+              f"{store.quarantine_path})", file=out)
+    if os.path.exists(store.quarantine_path):
+        with open(store.quarantine_path, "r", encoding="utf-8") as fh:
+            count = sum(1 for line in fh if line.strip())
+        print(f"quarantine sidecar: {count} line(s) in {store.quarantine_path}",
+              file=out)
+
+
 def _cmd_report(args, out) -> int:
     store = RunStore(args.store)
-    manifest, cells = store.load()
+    if args.repair:
+        pre = store.repair()
+        moved = (
+            len(pre.quarantined) + len(pre.superseded)
+            + (1 if pre.torn_tail is not None else 0)
+        )
+        if moved:
+            print(f"repaired {args.store}: {moved} line(s) moved to "
+                  f"{store.quarantine_path}", file=sys.stderr)
+        else:
+            print(f"{args.store} was already clean", file=sys.stderr)
+    load = store.load_report()
+    manifest, cells = load.manifest, load.cells
     if manifest is None:
         print(f"error: {args.store} contains no sweep run", file=sys.stderr)
         return 1
@@ -476,6 +536,7 @@ def _cmd_report(args, out) -> int:
                            rows, title=f"store: {args.store}"), file=out)
         print(f"{len(cells)} cells: {len(ok)} ok, {len(failed)} failed, "
               f"{retried} retried", file=out)
+        _print_quarantine_summary(load, store, out)
         return 0
 
     # --timing: rebuild the sweep's phase breakdown from the persisted

@@ -47,9 +47,28 @@ class StoreError(ReproError):
     """Raised for checkpoint-store problems (:mod:`repro.sim.store`).
 
     Examples: resuming into a store written by an incompatible sweep
-    (different trace length, seed, or configuration digests), a corrupt
-    line in the middle of the JSONL file, or starting a fresh run on a
+    (different trace length, seed, or configuration digests), an
+    unsupported store format version, or starting a fresh run on a
     store that already contains one without ``resume=True``.
+    """
+
+
+class StoreLockedError(StoreError):
+    """Raised when a second writer tries to open a locked checkpoint store.
+
+    :class:`~repro.sim.store.RunStore` takes an advisory ``flock`` on a
+    ``<path>.lock`` sidecar while open for appending, so two concurrent
+    sweeps can never silently interleave records into one campaign file.
+    The loser gets this error immediately instead of corrupting the
+    store.
+    """
+
+
+class FaultPlanError(ReproError):
+    """Raised for invalid fault-injection plans (:mod:`repro.faults`).
+
+    Examples: an unknown fault mode, a ``torn_write`` spec fired at a
+    non-write site, or malformed plan JSON.
     """
 
 

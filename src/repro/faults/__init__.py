@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the sweep substrate.
+
+``repro.faults`` is the chaos-engineering counterpart of
+:mod:`repro.obs`: where telemetry observes the storage and execution
+layers, this package *attacks* them — on purpose, deterministically,
+and only when armed.  A seeded :class:`FaultPlan` names injection
+sites (``store.append``, ``cache.write``, ``worker.mid_cell``, ...)
+and fault modes (``raise``, ``torn_write``, ``hang``, ``kill9``);
+arming it with a :class:`FaultInjector` context makes exactly those
+faults fire, each one recorded.  Disarmed, every instrumented site
+costs one function call plus an attribute check — and no site lives on
+the simulator hot loop.
+
+See ``tests/chaos/`` for the suite that drives full sweep campaigns
+under these plans, and the "Failure model" section of
+``docs/ARCHITECTURE.md`` for the guarantees it enforces.
+"""
+
+from .harness import HarnessResult, run_armed
+from .injector import NULL_INJECTOR, FaultInjector, InjectionRecord, current_injector
+from .plan import KNOWN_SITES, MODES, FaultPlan, FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HarnessResult",
+    "InjectionRecord",
+    "KNOWN_SITES",
+    "MODES",
+    "NULL_INJECTOR",
+    "current_injector",
+    "run_armed",
+]

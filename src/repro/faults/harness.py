@@ -1,0 +1,128 @@
+"""Process-kill harness: run a callable in a child armed with a plan.
+
+Lethal fault modes (``kill9``, ``hang`` with SIGSTOP, ``torn_write``
+with ``then="kill9"``) take down the process that hits them — which is
+the point, but the *test* must survive to assert recovery.
+:func:`run_armed` generalizes the runner's ``fault_hook`` trick into a
+reusable crash harness: it forks a child, arms the
+:class:`~repro.faults.plan.FaultPlan` ambiently inside it, runs the
+target, and reports how the child died (or what it returned)::
+
+    result = run_armed(run_sweep_campaign, store_path, plan=kill_plan)
+    assert result.killed and result.exitcode == -signal.SIGKILL
+    # ... now assert the store recovers on resume.
+
+The child is forked where the platform allows, so closures and test
+fixtures work as targets; on spawn-only platforms targets must be
+picklable by reference (module-level functions).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from .injector import FaultInjector
+from .plan import FaultPlan
+
+__all__ = ["HarnessResult", "run_armed"]
+
+#: Default child wall-clock budget in seconds.
+DEFAULT_TIMEOUT = 120.0
+
+
+@dataclass
+class HarnessResult:
+    """How one harnessed child run ended.
+
+    ``status`` is ``"ok"`` (target returned; ``value`` holds the result
+    if it was picklable), ``"error"`` (target raised; ``error`` holds
+    the formatted traceback), ``"killed"`` (died without reporting —
+    the expected outcome of a lethal fault), or ``"timeout"`` (still
+    alive after the budget; the harness SIGKILLed it).
+    """
+
+    exitcode: Optional[int]
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def killed(self) -> bool:
+        """True when the child died from a signal (exitcode < 0)."""
+        return self.exitcode is not None and self.exitcode < 0
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (closures work as targets), else the default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover — non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def _harness_child(target, args, kwargs, plan, conn):  # pragma: no cover — child
+    """Child entry point: arm the plan, run the target, report via *conn*."""
+    scope = FaultInjector(plan) if plan is not None else None
+    try:
+        if scope is not None:
+            scope.__enter__()
+        try:
+            value = target(*args, **kwargs)
+        finally:
+            if scope is not None:
+                scope.__exit__(None, None, None)
+    except BaseException:
+        conn.send(("error", traceback.format_exc()))
+    else:
+        try:
+            conn.send(("ok", value))
+        except Exception:
+            conn.send(("ok", None))  # unpicklable result: report success only
+    finally:
+        conn.close()
+
+
+def run_armed(
+    target: Callable[..., Any],
+    *args: Any,
+    plan: Optional[FaultPlan] = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    kwargs: Optional[Mapping[str, Any]] = None,
+) -> HarnessResult:
+    """Run ``target(*args, **kwargs)`` in a child process with *plan* armed.
+
+    Blocks until the child exits or *timeout* elapses (then the child
+    is SIGKILLed and ``status="timeout"`` reported).  Never raises on
+    child death — dying is a legitimate, assertable outcome.
+    """
+    ctx = _mp_context()
+    recv_conn, send_conn = ctx.Pipe(duplex=False)
+    process = ctx.Process(
+        target=_harness_child,
+        args=(target, args, dict(kwargs or {}), plan, send_conn),
+        daemon=True,
+    )
+    process.start()
+    send_conn.close()
+    process.join(timeout)
+    if process.is_alive():
+        process.kill()
+        process.join()
+        recv_conn.close()
+        return HarnessResult(process.exitcode, "timeout")
+    message = None
+    if recv_conn.poll():
+        try:
+            message = recv_conn.recv()
+        except EOFError:
+            message = None
+    recv_conn.close()
+    if message is None:
+        return HarnessResult(process.exitcode, "killed")
+    kind, payload = message
+    if kind == "ok":
+        return HarnessResult(process.exitcode, "ok", value=payload)
+    return HarnessResult(process.exitcode, "error", error=payload)

@@ -1,0 +1,242 @@
+"""Ambient fault injector: arms a :class:`~repro.faults.plan.FaultPlan`.
+
+A :class:`FaultInjector` is installed with a ``with`` block, exactly
+like :class:`~repro.obs.metrics.Telemetry`::
+
+    plan = FaultPlan().add("store.append", "raise", at=3)
+    with FaultInjector(plan) as inj:
+        run_sweep(...)          # the 3rd store append raises ENOSPC
+    assert inj.records[0].site == "store.append"
+
+Instrumented code consults :func:`current_injector` and checks the
+``armed`` attribute before doing any work, so the disarmed cost is one
+function call plus one attribute check on cold paths only (store
+appends, cache lookups, worker attempt starts — never the simulator
+hot loop).  When nothing is armed :func:`current_injector` returns the
+shared :data:`NULL_INJECTOR` whose hooks are no-ops.
+
+Every injection is recorded — in-process on ``injector.records``, in
+the ambient telemetry (``faults.injected`` counters), and, when the
+plan names a ``journal`` file, as one JSONL line appended with
+``O_APPEND`` semantics so records survive the process the fault kills.
+
+Cross-process behavior: sweep engines ship the armed plan to worker
+processes, which re-arm it on entry (forked workers also inherit the
+ambient stack directly).  Per-spec hit counters are per-process; use
+``match`` context filters for cross-process determinism.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..common.errors import FaultPlanError
+from ..obs.metrics import current as current_telemetry
+from .plan import FaultPlan, FaultSpec
+
+__all__ = [
+    "NULL_INJECTOR",
+    "FaultInjector",
+    "InjectionRecord",
+    "current_injector",
+]
+
+
+@dataclass
+class InjectionRecord:
+    """One fault that actually fired."""
+
+    site: str
+    mode: str
+    pid: int
+    context: Dict[str, Any] = field(default_factory=dict)
+    #: Index of the firing spec within the plan.
+    spec_index: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able form (what the journal stores)."""
+        return {
+            "site": self.site,
+            "mode": self.mode,
+            "pid": self.pid,
+            "context": dict(self.context),
+            "spec_index": self.spec_index,
+        }
+
+
+class _NullInjector:
+    """The disarmed default: every hook is a no-op.
+
+    Shared stateless singleton; ``armed`` is False so instrumented
+    sites skip even the context-dict construction.
+    """
+
+    __slots__ = ()
+    armed = False
+    plan = None
+
+    def on_event(self, site: str, **context: Any) -> None:
+        return None
+
+    def on_write(self, site: str, data: bytes,
+                 **context: Any) -> Tuple[bytes, None]:
+        return data, None
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return "NULL_INJECTOR"
+
+
+NULL_INJECTOR = _NullInjector()
+
+
+class FaultInjector:
+    """Arms a fault plan for the dynamic extent of a ``with`` block.
+
+    Args:
+        plan: The :class:`~repro.faults.plan.FaultPlan` to execute.
+            ``None`` or an empty plan arms nothing (``armed`` stays
+            False) — useful for asserting the installed-but-idle path
+            is inert.
+    """
+
+    enabled = True
+
+    def __init__(self, plan: Optional[FaultPlan] = None) -> None:
+        """Bind to *plan*; installation happens on ``__enter__``."""
+        self.plan = plan if plan is not None else FaultPlan()
+        self.records: List[InjectionRecord] = []
+        self._hits: Dict[int, int] = {}
+
+    @property
+    def armed(self) -> bool:
+        """True when the plan has at least one spec."""
+        return bool(self.plan.specs)
+
+    # -- site hooks ----------------------------------------------------------
+
+    def on_event(self, site: str, **context: Any) -> None:
+        """Fire any matching non-write fault at *site* (may raise/hang/kill)."""
+        spec, index = self._match(site, context)
+        if spec is None:
+            return
+        if spec.mode == "torn_write":
+            raise FaultPlanError(
+                f"torn_write spec matched non-write site {site!r}; "
+                f"use raise/hang/kill9 there"
+            )
+        self._record(site, spec, index, context)
+        self._execute(spec, site)
+
+    def on_write(
+        self, site: str, data: bytes, **context: Any
+    ) -> Tuple[bytes, Optional[Callable[[], None]]]:
+        """Intercept a write of *data* at a write site.
+
+        Returns ``(payload, after)``: the caller writes *payload* (the
+        original data, or a truncated prefix for ``torn_write``) and,
+        when *after* is not None, flushes it to disk and then invokes
+        ``after()`` — which raises the injected error or kills the
+        process, completing the simulated crash mid-write.
+        """
+        spec, index = self._match(site, context)
+        if spec is None:
+            return data, None
+        self._record(site, spec, index, context)
+        if spec.mode == "torn_write":
+            clipped = data[: spec.trunc_bytes]
+
+            def after() -> None:
+                if spec.then == "kill9":
+                    os.kill(os.getpid(), signal.SIGKILL)
+                raise spec.build_exception(site)
+
+            return clipped, after
+        self._execute(spec, site)
+        return data, None
+
+    # -- internals -----------------------------------------------------------
+
+    def _match(
+        self, site: str, context: Dict[str, Any]
+    ) -> Tuple[Optional[FaultSpec], int]:
+        """Count matching encounters; return the first in-window spec."""
+        fired: Optional[FaultSpec] = None
+        fired_index = -1
+        for index, spec in enumerate(self.plan.specs):
+            if not spec.matches(site, context):
+                continue
+            hits = self._hits.get(index, 0) + 1
+            self._hits[index] = hits
+            if fired is None and spec.in_window(hits):
+                fired = spec
+                fired_index = index
+        return fired, fired_index
+
+    def _record(self, site: str, spec: FaultSpec, index: int,
+                context: Dict[str, Any]) -> None:
+        """Record the injection everywhere *before* executing it.
+
+        Ordering matters: ``kill9`` never returns, so the in-process
+        list, the telemetry counters, and the journal line must all
+        land first — the journal is what lets a test assert exactly
+        which fault killed a child process.
+        """
+        record = InjectionRecord(site, spec.mode, os.getpid(),
+                                 dict(context), index)
+        self.records.append(record)
+        tele = current_telemetry()
+        tele.count("faults.injected")
+        tele.count(f"faults.site.{site}")
+        if self.plan.journal:
+            try:
+                line = json.dumps({**record.to_dict(), "time": time.time()},
+                                  separators=(",", ":"))
+                with open(self.plan.journal, "a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            except OSError:  # journalling must never mask the fault itself
+                pass
+
+    def _execute(self, spec: FaultSpec, site: str) -> None:
+        """Carry out a raise/hang/kill9 spec (torn_write is handled above)."""
+        if spec.mode == "raise":
+            raise spec.build_exception(site)
+        if spec.mode == "hang":
+            if spec.seconds is None:
+                # A true hang: SIGSTOP freezes every thread of this
+                # process (heartbeats included) until something SIGKILLs
+                # or SIGCONTs it — exactly what supervision must detect.
+                os.kill(os.getpid(), signal.SIGSTOP)
+            else:
+                time.sleep(spec.seconds)
+            return
+        if spec.mode == "kill9":
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    # -- ambient installation ------------------------------------------------
+
+    def __enter__(self) -> "FaultInjector":
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        _STACK.remove(self)
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (f"FaultInjector({len(self.plan.specs)} spec(s), "
+                f"{len(self.records)} fired)")
+
+
+#: Ambient injector stack; the top is what :func:`current_injector` returns.
+_STACK: List[FaultInjector] = []
+
+
+def current_injector() -> "FaultInjector":
+    """The innermost armed-or-not injector, or :data:`NULL_INJECTOR`."""
+    return _STACK[-1] if _STACK else NULL_INJECTOR  # type: ignore[return-value]

@@ -1,0 +1,303 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` is a serializable list of :class:`FaultSpec`
+entries, each naming an injection *site* (a string like
+``"store.append"`` that instrumented code passes to the ambient
+:class:`~repro.faults.injector.FaultInjector`), a fault *mode*, and a
+deterministic trigger (match keys plus a hit window).  Plans are plain
+data: they round-trip through JSON so a failing chaos run can persist
+the exact plan that produced it and CI can upload it for reproduction.
+
+The known sites (see :data:`KNOWN_SITES`) cover the three stateful
+layers of the sweep substrate:
+
+========================  ====================================================
+site                      fires
+========================  ====================================================
+``store.append``          around every :class:`~repro.sim.store.RunStore`
+                          record write (write site: supports ``torn_write``)
+``store.fsync``           just before the store fsyncs an appended record
+``cache.write``           at the :class:`~repro.traces.cache.TraceCache`
+                          entry commit point (write site)
+``cache.read``            on every trace-cache lookup
+``worker.start``          at sweep-worker attempt entry
+``worker.mid_cell``       in the worker between trace synthesis and
+                          simulation (same point as ``fault_hook``)
+========================  ====================================================
+
+Modes:
+
+- ``raise`` — raise an exception (default ``OSError`` with
+  ``errno.ENOSPC``; see :data:`RAISABLE`);
+- ``torn_write`` — at a write site, let only ``trunc_bytes`` of the
+  payload reach the file, then either raise (``then="raise"``, an
+  ``EIO`` :class:`OSError`) or die (``then="kill9"``) — the signature
+  of a crash mid-write;
+- ``hang`` — sleep ``seconds``, or with ``seconds=None`` SIGSTOP the
+  whole process (a true hang: every thread, heartbeats included,
+  freezes until the supervisor kills it);
+- ``kill9`` — SIGKILL the current process on the spot.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import random
+from dataclasses import asdict, dataclass, field, fields as dataclass_fields
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..common.errors import FaultPlanError
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Injection sites instrumented across the sweep substrate.
+KNOWN_SITES = (
+    "store.append",
+    "store.fsync",
+    "cache.write",
+    "cache.read",
+    "worker.start",
+    "worker.mid_cell",
+)
+
+#: Valid fault modes.
+MODES = ("raise", "torn_write", "hang", "kill9")
+
+#: Exception classes a ``raise`` spec may name.
+RAISABLE = {
+    "OSError": OSError,
+    "IOError": OSError,
+    "RuntimeError": RuntimeError,
+    "ValueError": ValueError,
+    "TimeoutError": TimeoutError,
+    "MemoryError": MemoryError,
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault: where, what, and exactly when it fires.
+
+    A spec matches an injection-site encounter when ``site`` equals the
+    fired site and every ``(key, value)`` in ``match`` equals the
+    context the site reported (e.g. ``{"workload": "gzip", "attempt":
+    1}``).  Matching encounters are counted per spec *per process*; the
+    spec fires from the ``at``-th match on, at most ``count`` times
+    (``count=0`` means unlimited).  ``match`` is the cross-process
+    deterministic selector — hit counters restart in each worker
+    process (and are inherited at ``fork``), so plans targeting worker
+    sites should select by context, not ordinal.
+    """
+
+    site: str
+    mode: str
+    #: Fire starting from the N-th matching encounter (1-based).
+    at: int = 1
+    #: How many times to fire once reached; 0 = every further match.
+    count: int = 1
+    #: Context filter: every key must be present and equal at the site.
+    match: Dict[str, Any] = field(default_factory=dict)
+    #: ``raise`` mode: exception class name from :data:`RAISABLE`.
+    exception: str = "OSError"
+    #: ``raise`` mode with OSError: symbolic errno (e.g. ``"ENOSPC"``).
+    errno_name: str = "ENOSPC"
+    #: ``torn_write`` mode: payload bytes that reach the file.
+    trunc_bytes: int = 0
+    #: ``torn_write`` mode: what happens after the tear ("raise"/"kill9").
+    then: str = "raise"
+    #: ``hang`` mode: sleep this long; None = SIGSTOP (freeze forever).
+    seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        """Validate mode/trigger fields; site names are free-form."""
+        if self.mode not in MODES:
+            raise FaultPlanError(
+                f"unknown fault mode {self.mode!r} (valid: {', '.join(MODES)})"
+            )
+        if self.mode == "raise" and self.exception not in RAISABLE:
+            raise FaultPlanError(
+                f"unknown exception {self.exception!r} "
+                f"(valid: {', '.join(sorted(RAISABLE))})"
+            )
+        if self.mode == "raise" and self.exception in ("OSError", "IOError"):
+            if not hasattr(errno, self.errno_name):
+                raise FaultPlanError(f"unknown errno name {self.errno_name!r}")
+        if self.then not in ("raise", "kill9"):
+            raise FaultPlanError(f"torn_write 'then' must be raise|kill9, "
+                                 f"got {self.then!r}")
+        if self.at < 1:
+            raise FaultPlanError(f"'at' must be >= 1, got {self.at}")
+        if self.count < 0:
+            raise FaultPlanError(f"'count' must be >= 0, got {self.count}")
+        if self.trunc_bytes < 0:
+            raise FaultPlanError(f"'trunc_bytes' must be >= 0, got {self.trunc_bytes}")
+
+    def matches(self, site: str, context: Mapping[str, Any]) -> bool:
+        """Whether this spec selects an encounter of *site* with *context*."""
+        if site != self.site:
+            return False
+        for key, value in self.match.items():
+            if key not in context or context[key] != value:
+                return False
+        return True
+
+    def in_window(self, hits: int) -> bool:
+        """Whether the *hits*-th matching encounter (1-based) fires."""
+        if hits < self.at:
+            return False
+        return self.count == 0 or hits < self.at + self.count
+
+    def build_exception(self, site: str) -> BaseException:
+        """The exception a ``raise`` (or torn ``then="raise"``) spec throws."""
+        name = self.exception
+        cls = RAISABLE.get(name, OSError)
+        if cls is OSError:
+            code = getattr(errno, self.errno_name, errno.EIO)
+            return OSError(code, f"injected {self.errno_name} at {site}")
+        return cls(f"injected {name} at {site}")
+
+    def describe(self) -> str:
+        """One-line human summary of the spec."""
+        trigger = f"at={self.at}" + (f" count={self.count}" if self.count != 1 else "")
+        if self.match:
+            trigger += " match=" + ",".join(f"{k}={v}" for k, v in self.match.items())
+        detail = {
+            "raise": f"{self.exception}/{self.errno_name}",
+            "torn_write": f"{self.trunc_bytes}B then {self.then}",
+            "hang": "SIGSTOP" if self.seconds is None else f"{self.seconds:g}s",
+            "kill9": "SIGKILL",
+        }[self.mode]
+        return f"{self.site}: {self.mode}({detail}) [{trigger}]"
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, serializable collection of :class:`FaultSpec` entries.
+
+    ``seed`` documents how the plan was derived (see :meth:`random`);
+    ``journal`` optionally names a JSONL file every injection is
+    appended to — the cross-process record chaos tests assert against,
+    durable even when the injection kills the process that fired it.
+    """
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+    journal: Optional[str] = None
+
+    def add(self, site: str, mode: str, **kwargs: Any) -> "FaultPlan":
+        """Append a spec (keyword args as for :class:`FaultSpec`); chainable."""
+        self.specs.append(FaultSpec(site=site, mode=mode, **kwargs))
+        return self
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able form (the exact inverse of :meth:`from_dict`)."""
+        return {
+            "seed": self.seed,
+            "journal": self.journal,
+            "specs": [asdict(spec) for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultPlan":
+        """Rebuild from :meth:`to_dict` output; unknown keys are ignored."""
+        known = {f.name for f in dataclass_fields(FaultSpec)}
+        try:
+            specs = [
+                FaultSpec(**{k: v for k, v in spec.items() if k in known})
+                for spec in data.get("specs", [])
+            ]
+        except TypeError as exc:
+            raise FaultPlanError(f"malformed fault spec: {exc}") from exc
+        return cls(specs=specs, seed=data.get("seed", 0),
+                   journal=data.get("journal"))
+
+    def save(self, path: PathLike) -> str:
+        """Write the plan as JSON to *path*; returns the path."""
+        path = os.fspath(path)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=1)
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: PathLike) -> "FaultPlan":
+        """Read a plan written by :meth:`save`."""
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise FaultPlanError(f"cannot load fault plan {path!r}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def read_journal(self) -> List[Dict[str, Any]]:
+        """Parse the injection journal; [] when absent or never written.
+
+        Tolerates a torn trailing line — an injection that killed the
+        process mid-journal-write is itself a fault under test.
+        """
+        if not self.journal or not os.path.exists(self.journal):
+            return []
+        records: List[Dict[str, Any]] = []
+        with open(self.journal, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue  # torn tail from a kill mid-record
+        return records
+
+    def describe(self) -> str:
+        """Multi-line human summary (one line per spec)."""
+        if not self.specs:
+            return f"empty fault plan (seed {self.seed})"
+        lines = [f"fault plan (seed {self.seed}, {len(self.specs)} spec(s)):"]
+        lines += [f"  {spec.describe()}" for spec in self.specs]
+        return "\n".join(lines)
+
+    # -- seeded generation ---------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        sites: Sequence[str] = KNOWN_SITES,
+        modes: Sequence[str] = ("raise", "torn_write"),
+        max_specs: int = 2,
+        journal: Optional[str] = None,
+    ) -> "FaultPlan":
+        """A deterministic pseudo-random plan derived from *seed*.
+
+        The nightly-style chaos smoke uses this: the same seed always
+        yields the same plan, so a red run is reproduced by re-running
+        with the seed (or the uploaded plan JSON).  *modes* defaults to
+        the non-lethal subset — opt in to ``hang``/``kill9`` explicitly
+        where the caller controls process isolation.
+        """
+        rng = random.Random(seed)
+        plan = cls(seed=seed, journal=journal)
+        for _ in range(rng.randint(1, max(1, max_specs))):
+            site = rng.choice(list(sites))
+            mode = rng.choice(list(modes))
+            kwargs: Dict[str, Any] = {"at": rng.randint(1, 3)}
+            if mode == "torn_write":
+                if not site.endswith((".append", ".write")):
+                    mode = "raise"  # torn writes only make sense at write sites
+                else:
+                    kwargs["trunc_bytes"] = rng.randint(0, 48)
+            if mode == "raise":
+                kwargs["errno_name"] = rng.choice(["ENOSPC", "EIO", "EDQUOT"])
+            if mode == "hang":
+                kwargs["seconds"] = round(rng.uniform(0.1, 0.5), 3)
+            plan.add(site, mode, **kwargs)
+        return plan

@@ -146,9 +146,11 @@ def run_paper(
     machine: Optional[MachineConfig] = None,
     smoke: bool = False,
     resume: bool = False,
+    retry_poisoned: bool = False,
     workers: int = 1,
     timeout: Optional[float] = None,
     retries: int = 0,
+    hang_grace: Optional[float] = None,
     workloads: Optional[Sequence[str]] = None,
     trace_cache: Any = True,
     observer: Any = None,
@@ -174,8 +176,10 @@ def run_paper(
         smoke: use the reduced CI scale when *length* is not given.
         resume: continue a previously interrupted campaign from the
             store instead of refusing to reuse it.
-        workers, timeout, retries: fault-tolerance knobs passed through
-            to ``run_sweep``.
+        retry_poisoned: re-execute cells whose stored record is a
+            failure instead of quarantining them (see ``run_sweep``).
+        workers, timeout, retries, hang_grace: fault-tolerance knobs
+            passed through to ``run_sweep``.
         workloads: restrict every spec to these workloads (testing and
             smoke subsets; shape checks on absent workloads SKIP).
         trace_cache: as for ``run_sweep`` (default: shared cache on).
@@ -219,9 +223,11 @@ def run_paper(
                 workers=workers,
                 timeout=timeout,
                 retries=retries,
+                hang_grace=hang_grace,
                 store=store,
                 # Later groups always resume into the store they share.
                 resume=resume if first else True,
+                retry_poisoned=retry_poisoned,
                 trace_cache=trace_cache,
                 observer=observer,
                 progress=progress,

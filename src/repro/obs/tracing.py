@@ -250,6 +250,19 @@ def build_sweep_trace(report: Any, *, origin: Optional[float] = None) -> ChromeT
                 "retry", cell_start, tid=tid,
                 args={"cell": label, "attempt": tele["attempt"]},
             )
+
+    # Hung-worker detections from the supervisor (the killed worker never
+    # reported telemetry, so the marker lands on its lane by pid alone).
+    for hang in sweep_tele.get("hangs", []):
+        trace.add_instant(
+            "worker.hung", hang.get("detected_at", sweep_start or 0.0),
+            tid=lane_for(hang.get("pid")),
+            args={
+                "cell": f"{hang.get('workload')}:{hang.get('config')}",
+                "attempt": hang.get("attempt"),
+                "grace_seconds": hang.get("grace"),
+            },
+        )
     return trace
 
 

@@ -47,6 +47,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor
@@ -58,6 +59,8 @@ from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Seque
 
 from ..common.config import MachineConfig, config_digest, paper_machine
 from ..common.errors import CellTimeoutError, ReproError, SimulationError
+from ..faults.injector import FaultInjector, current_injector
+from ..faults.plan import FaultPlan
 from ..obs.logging import current_logger
 from ..obs.metrics import Telemetry
 from ..obs.metrics import current as current_telemetry
@@ -80,6 +83,9 @@ _POLL_INTERVAL = 0.02
 
 #: Grace period between SIGTERM and SIGKILL for a timed-out worker.
 _KILL_GRACE = 5.0
+
+#: How often a supervised worker writes its heartbeat timestamp.
+_HEARTBEAT_INTERVAL = 0.2
 
 
 # ---------------------------------------------------------------------------
@@ -128,6 +134,11 @@ class CellFailure:
     #: counters collected up to the failure), when the sweep was
     #: collecting telemetry and the worker lived to report it.
     telemetry: Optional[Dict[str, Any]] = None
+    #: True when this failure was *replayed* from the checkpoint store:
+    #: the cell exhausted its retries in an earlier invocation and is
+    #: quarantined — excluded from re-execution on resume unless the
+    #: sweep passes ``retry_poisoned=True``.
+    poisoned: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         """Serialize every field (the exact inverse of :meth:`from_dict`)."""
@@ -139,6 +150,7 @@ class CellFailure:
             "traceback": self.traceback,
             "attempts": self.attempts,
             "telemetry": self.telemetry,
+            "poisoned": self.poisoned,
         }
 
     @classmethod
@@ -185,6 +197,14 @@ class SweepReport:
     telemetry: Optional[Dict[str, Any]] = None
     #: Wall-clock seconds for the whole invocation.
     wall_time: float = 0.0
+    #: Stored failures quarantined on resume (present in ``failures``
+    #: with ``poisoned=True``, excluded from re-execution).
+    poisoned: int = 0
+    #: True when the circuit breaker stopped the sweep early; the
+    #: remaining cells were never attempted (absent from ``attempts``).
+    aborted: bool = False
+    #: Human-readable reason the breaker tripped, when ``aborted``.
+    abort_reason: str = ""
 
     @property
     def ok_cells(self) -> int:
@@ -199,12 +219,17 @@ class SweepReport:
     def summary(self) -> str:
         """One-line human digest, shared by the CLI, logs, and tests."""
         total = self.ok_cells + len(self.failures)
-        return (
+        text = (
             f"{total} cells: {self.ok_cells} ok "
             f"({self.replayed} replayed from store), "
             f"{len(self.failures)} failed, "
             f"{self.retried} retried in {self.wall_time:.1f}s"
         )
+        if self.poisoned:
+            text += f", {self.poisoned} poisoned cell(s) quarantined"
+        if self.aborted:
+            text += f" [ABORTED: {self.abort_reason}]"
+        return text
 
     def raise_on_failure(self) -> None:
         """Raise :class:`SimulationError` summarizing failures, if any."""
@@ -270,6 +295,7 @@ def _execute_cell(
             trace = workload.build(length=total, seed=spec.seed)
         if fault_hook is not None:
             fault_hook(spec.workload, spec.config_name, attempt)
+        _fire_mid_cell(spec, attempt)
         kwargs = dict(spec.config)
         kwargs.setdefault("ipa", workload.ipa)
         kwargs.setdefault("warmup", spec.warmup)
@@ -302,6 +328,7 @@ def _execute_cell(
                     trace = workload.build(length=total, seed=spec.seed)
             if fault_hook is not None:
                 fault_hook(spec.workload, spec.config_name, attempt)
+            _fire_mid_cell(spec, attempt)
             kwargs = dict(spec.config)
             kwargs.setdefault("ipa", workload.ipa)
             kwargs.setdefault("warmup", spec.warmup)
@@ -319,21 +346,47 @@ def _execute_cell(
     return result
 
 
+def _fire_mid_cell(spec: CellSpec, attempt: int) -> None:
+    """The ``worker.mid_cell`` injection site (same point as fault_hook)."""
+    injector = current_injector()
+    if injector.armed:
+        injector.on_event(
+            "worker.mid_cell", workload=spec.workload,
+            config=spec.config_name, attempt=attempt,
+        )
+
+
 def _run_attempt(
     spec: CellSpec,
     fault_hook: Optional[FaultHook],
     attempt: int,
     submitted_at: Optional[float],
     collect: bool,
+    plan: Optional[FaultPlan] = None,
 ) -> _Outcome:
     """Execute one attempt and fold the result/exception into an outcome.
 
     Shared by all three engines (it is the function the pool engine
     submits), so the outcome shape — including the trailing telemetry
     slot — is identical everywhere.
+
+    *plan* re-arms the parent's fault plan in the executing process
+    when no ambient injector is active there — the spawn-engine path;
+    forked workers usually inherit the parent's armed injector instead
+    and keep it (so its hit counters carry over the fork).
     """
+    scope = None
+    if plan is not None and not current_injector().armed:
+        scope = FaultInjector(plan)
+        scope.__enter__()
     tele = _new_cell_telemetry(attempt, submitted_at) if collect else None
     try:
+        injector = current_injector()
+        if injector.armed:
+            injector.on_event(
+                "worker.start", workload=spec.workload,
+                config=spec.config_name, attempt=attempt,
+            )
         result = _execute_cell(spec, fault_hook, attempt, tele)
     except Exception as exc:
         return (
@@ -344,14 +397,35 @@ def _run_attempt(
             _is_transient(exc),
             tele,
         )
+    finally:
+        if scope is not None:
+            scope.__exit__(None, None, None)
     return ("ok", result, tele)
 
 
+def _heartbeat_loop(heartbeat) -> None:  # pragma: no cover — worker thread
+    """Stamp ``heartbeat`` every :data:`_HEARTBEAT_INTERVAL` seconds.
+
+    Runs as a daemon thread in the worker.  A worker that is merely
+    *slow* keeps beating; one that is truly wedged — SIGSTOPped, stuck
+    in an uninterruptible syscall, deadlocked at process level — stops,
+    and the parent's supervisor notices the stale timestamp.
+    """
+    while True:
+        heartbeat.value = time.monotonic()
+        time.sleep(_HEARTBEAT_INTERVAL)
+
+
 def _cell_worker(spec, fault_hook, attempt, conn, submitted_at,
-                 collect) -> None:  # pragma: no cover — child
+                 collect, plan=None, heartbeat=None) -> None:  # pragma: no cover — child
     """Dedicated-process entry point: send outcome over *conn* and exit."""
+    if heartbeat is not None:
+        threading.Thread(
+            target=_heartbeat_loop, args=(heartbeat,), daemon=True
+        ).start()
     try:
-        conn.send(_run_attempt(spec, fault_hook, attempt, submitted_at, collect))
+        conn.send(_run_attempt(spec, fault_hook, attempt, submitted_at,
+                               collect, plan))
     finally:
         conn.close()
 
@@ -382,8 +456,8 @@ def _backoff_delay(backoff: float, attempt: int, rng: random.Random) -> float:
 
 # Internal per-attempt outcome: ("ok", result, telemetry) | ("error",
 # type, msg, tb, transient, telemetry) | ("crash", exitcode) |
-# ("timeout", budget).  The telemetry slot is None when collection is
-# off; crashed/timed-out workers never report one.
+# ("timeout", budget) | ("hung", grace).  The telemetry slot is None
+# when collection is off; crashed/timed-out/hung workers never report one.
 _Outcome = Tuple[Any, ...]
 
 # Engine yield: (spec, outcome, attempts, elapsed_seconds)
@@ -415,7 +489,9 @@ class _RetryTracker:
         kind = outcome[0]
         if kind == "error":
             return bool(outcome[4])
-        if kind == "crash":
+        if kind in ("crash", "hung"):
+            # A crashed or wedged worker says nothing about the cell's
+            # inputs — both are environmental, both retry.
             return True
         return False  # timeouts: the budget was already spent once
 
@@ -447,6 +523,15 @@ def _failure_from_outcome(spec: CellSpec, outcome: _Outcome, attempts: int) -> C
             "",
             attempts,
         )
+    if kind == "hung":
+        return CellFailure(
+            spec.workload,
+            spec.config_name,
+            "WorkerHung",
+            f"worker stopped heartbeating for {outcome[1]:g}s and was recycled",
+            "",
+            attempts,
+        )
     raise AssertionError(f"unexpected outcome {outcome!r}")  # pragma: no cover
 
 
@@ -466,7 +551,7 @@ def _run_serial(
     notify: Optional[_Notify],
     collect: bool,
 ) -> Iterator[_CellDone]:
-    """In-process serial engine (``workers == 1``, no timeout)."""
+    """In-process serial engine (``workers == 1``, no timeout/supervision)."""
     for spec in cells:
         attempt = 1
         started = time.monotonic()
@@ -474,6 +559,9 @@ def _run_serial(
             if notify is not None:
                 notify(spec, attempt)
             outcome = _run_attempt(spec, fault_hook, attempt, None, collect)
+            # (no plan arg: the ambient injector, if any, is already
+            # active in this process — serial faults hit the campaign
+            # itself, which is exactly what a serial chaos run asserts)
             if outcome[0] != "ok" and retry.should_retry(outcome, attempt):
                 time.sleep(retry.next_delay(attempt))
                 attempt += 1
@@ -489,6 +577,7 @@ def _run_pool(
     fault_hook: Optional[FaultHook],
     notify: Optional[_Notify],
     collect: bool,
+    plan: Optional[FaultPlan] = None,
 ) -> Iterator[_CellDone]:
     """ProcessPoolExecutor engine (``workers > 1``, no timeout).
 
@@ -519,7 +608,7 @@ def _run_pool(
                     pending.started_at = now
                 fut = executor.submit(
                     _run_attempt, pending.spec, fault_hook, pending.attempt,
-                    time.time() if collect else None, collect,
+                    time.time() if collect else None, collect, plan,
                 )
                 in_flight[fut] = pending
             if not in_flight:
@@ -565,24 +654,42 @@ def _run_pool(
 
 
 class _WorkerProc:
-    """One dedicated worker process executing one cell attempt."""
+    """One dedicated worker process executing one cell attempt.
 
-    def __init__(self, ctx, pending: _Pending, fault_hook, timeout: float,
-                 collect: bool = False) -> None:
+    With *hang_grace* set the worker carries a shared heartbeat slot
+    (a lock-free ``RawValue`` — a plain 8-byte read, safe even when the
+    child is SIGSTOPped holding no lock) that a daemon thread in the
+    child stamps every :data:`_HEARTBEAT_INTERVAL` seconds; a stale
+    stamp marks the worker *hung* — distinct from a timeout, which a
+    busy-but-healthy cell can also hit.
+    """
+
+    def __init__(self, ctx, pending: _Pending, fault_hook,
+                 timeout: Optional[float], collect: bool = False,
+                 plan: Optional[FaultPlan] = None,
+                 hang_grace: Optional[float] = None) -> None:
         self.pending = pending
+        self.timeout = timeout
+        self.hang_grace = hang_grace
+        self.heartbeat = (
+            ctx.RawValue("d", time.monotonic()) if hang_grace is not None else None
+        )
         self.recv_conn, send_conn = ctx.Pipe(duplex=False)
         self.process = ctx.Process(
             target=_cell_worker,
             args=(pending.spec, fault_hook, pending.attempt, send_conn,
-                  time.time() if collect else None, collect),
+                  time.time() if collect else None, collect, plan,
+                  self.heartbeat),
             daemon=True,
         )
         self.process.start()
         send_conn.close()  # keep only the child's handle on the write end
-        self.deadline = time.monotonic() + timeout
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
 
-    def poll(self, timeout: float) -> Optional[_Outcome]:
-        """Outcome if the attempt finished/expired, else None (still running)."""
+    def poll(self) -> Optional[_Outcome]:
+        """Outcome if the attempt finished/expired/hung, else None."""
         # Sample liveness *before* draining the pipe: a worker that sends
         # its result and exits between the two checks is then caught by
         # the message branch now or on the next poll, never misreported
@@ -601,16 +708,26 @@ class _WorkerProc:
             # Exited without a message in the pipe: a hard crash.
             self._finish()
             return ("crash", self.process.exitcode)
-        if time.monotonic() >= self.deadline:
+        now = time.monotonic()
+        if (
+            self.heartbeat is not None
+            and now - self.heartbeat.value >= self.hang_grace
+        ):
+            # A stopped/wedged process ignores SIGTERM; go straight to
+            # SIGKILL instead of wasting the graceful-shutdown window.
+            self.kill(hard=True)
+            return ("hung", self.hang_grace)
+        if self.deadline is not None and now >= self.deadline:
             self.kill()
-            return ("timeout", timeout)
+            return ("timeout", self.timeout)
         return None
 
-    def kill(self) -> None:
+    def kill(self, hard: bool = False) -> None:
         if self.process.is_alive():
-            self.process.terminate()
-            self.process.join(_KILL_GRACE)
-            if self.process.is_alive():  # pragma: no cover — SIGTERM ignored
+            if not hard:
+                self.process.terminate()
+                self.process.join(_KILL_GRACE)
+            if self.process.is_alive():
                 self.process.kill()
                 self.process.join()
         self.recv_conn.close()
@@ -620,20 +737,30 @@ class _WorkerProc:
         self.recv_conn.close()
 
 
+#: Hang notification from the dedicated-process engine:
+#: ``(spec, attempt, pid, grace)``, fired before the retry decision so
+#: recycled-and-retried hangs are observable too.
+_OnHang = Callable[[CellSpec, int, Optional[int], float], None]
+
+
 def _run_processes(
     cells: Sequence[CellSpec],
     workers: int,
-    timeout: float,
+    timeout: Optional[float],
     retry: _RetryTracker,
     fault_hook: Optional[FaultHook],
     notify: Optional[_Notify],
     collect: bool,
+    plan: Optional[FaultPlan] = None,
+    hang_grace: Optional[float] = None,
+    on_hang: Optional[_OnHang] = None,
 ) -> Iterator[_CellDone]:
-    """Dedicated-process engine: kill-capable, used whenever a timeout is set.
+    """Dedicated-process engine: kill-capable, used for timeout/supervision.
 
     At most *workers* cells run concurrently, each in its own process so
-    a cell that exceeds its wall-clock budget is terminated without
-    disturbing its siblings.
+    a cell that exceeds its wall-clock budget — or stops heartbeating
+    for *hang_grace* seconds — is killed and recycled without disturbing
+    its siblings.
     """
     ctx = _mp_context()
     queue: List[_Pending] = [_Pending(spec, 1, 0.0) for spec in cells]
@@ -649,15 +776,21 @@ def _run_processes(
                     notify(pending.spec, pending.attempt)
                 if pending.started_at == 0.0:
                     pending.started_at = now
-                running.append(_WorkerProc(ctx, pending, fault_hook, timeout, collect))
+                running.append(
+                    _WorkerProc(ctx, pending, fault_hook, timeout, collect,
+                                plan, hang_grace)
+                )
             made_progress = False
             for worker in list(running):
-                outcome = worker.poll(timeout)
+                pid = worker.process.pid
+                outcome = worker.poll()
                 if outcome is None:
                     continue
                 made_progress = True
                 running.remove(worker)
                 pending = worker.pending
+                if outcome[0] == "hung" and on_hang is not None:
+                    on_hang(pending.spec, pending.attempt, pid, outcome[1])
                 if outcome[0] != "ok" and retry.should_retry(outcome, pending.attempt):
                     delay = retry.next_delay(pending.attempt)
                     queue.append(
@@ -678,8 +811,8 @@ def _run_processes(
             if not made_progress:
                 time.sleep(_POLL_INTERVAL)
     finally:
-        for worker in running:  # interrupted: don't leak children
-            worker.kill()
+        for worker in running:  # interrupted/aborted: don't leak children
+            worker.kill(hard=True)
 
 
 # ---------------------------------------------------------------------------
@@ -700,8 +833,11 @@ def run_sweep(
     timeout: Optional[float] = None,
     retries: int = 0,
     backoff: float = 0.25,
+    hang_grace: Optional[float] = None,
+    max_failure_rate: Optional[float] = None,
     store: Optional[Union[RunStore, str, "os.PathLike[str]"]] = None,
     resume: bool = False,
+    retry_poisoned: bool = False,
     fault_hook: Optional[FaultHook] = None,
     trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = True,
     observer: Optional[SweepObserver] = None,
@@ -725,10 +861,29 @@ def run_sweep(
             non-:class:`ReproError` exceptions; deterministic domain
             errors and timeouts are not retried).
         backoff: base delay for exponential backoff between attempts.
+        hang_grace: seconds a worker may go without heartbeating before
+            it is declared *hung*, SIGKILLed, and its cell retried
+            (subject to *retries*).  Catches workers that are wedged —
+            SIGSTOPped, deadlocked, stuck in a syscall — which a
+            wall-clock *timeout* only notices after the full budget.
+            Like *timeout*, requires child processes, so setting it
+            selects the dedicated-process engine.  Every hang lands in
+            ``report.telemetry["hangs"]`` and the Chrome trace.
+        max_failure_rate: circuit breaker — abort the sweep when
+            freshly-failed cells exceed this fraction of the campaign
+            (e.g. ``0.5``: more than half failing means the environment
+            is broken, not the cells; stop burning compute).  Completed
+            work stays recorded and resumable; ``report.aborted`` is
+            set.  ``None`` (default) never trips.
         store: checkpoint path or :class:`RunStore`; every finished cell
             is appended, and with ``resume=True`` previously completed
             cells are replayed from disk instead of re-executed.
         resume: allow continuing into an existing, compatible store.
+        retry_poisoned: on resume, re-execute cells whose stored record
+            is a failure.  Off by default: a cell that already exhausted
+            its retries is *poisoned* — replayed as a failure (with
+            ``poisoned=True``) and quarantined from execution so one
+            deterministic crasher cannot re-wedge every resume.
         fault_hook: test/chaos hook run in the worker before simulation.
         trace_cache: content-addressed trace cache shared by all cells.
             ``True`` (default) uses the default root (see
@@ -771,6 +926,12 @@ def run_sweep(
         raise SimulationError(f"retries must be >= 0, got {retries}")
     if timeout is not None and timeout <= 0:
         raise SimulationError(f"timeout must be positive, got {timeout}")
+    if hang_grace is not None and hang_grace <= 0:
+        raise SimulationError(f"hang_grace must be positive, got {hang_grace}")
+    if max_failure_rate is not None and not 0.0 <= max_failure_rate <= 1.0:
+        raise SimulationError(
+            f"max_failure_rate must be in [0, 1], got {max_failure_rate}"
+        )
     if not configs:
         raise SimulationError("no configurations given")
     names = list(workloads) if workloads is not None else list(SPEC2000)
@@ -825,9 +986,15 @@ def run_sweep(
         for config_name, config in configs.items()
     ]
 
+    # The ambient fault plan (if a FaultInjector is armed here) ships to
+    # worker processes so injection sites fire there too.
+    ambient_injector = current_injector()
+    plan = ambient_injector.plan if ambient_injector.armed else None
+
     run_store: Optional[RunStore] = None
     owns_store = False
     replayed: Dict[CellKey, SimulationResult] = {}
+    poisoned: List[CellFailure] = []
     retry = _RetryTracker(retries, backoff)
     try:
         if store is not None:
@@ -845,11 +1012,31 @@ def run_sweep(
             prior = run_store.start(manifest, resume=resume)
             wanted = {cell.key for cell in cells}
             for key, record in prior.items():
-                # Only successful cells replay; failed ones re-execute.
-                if key in wanted and record.get("status") == "ok":
+                if key not in wanted:
+                    continue
+                if record.get("status") == "ok":
                     replayed[key] = SimulationResult.from_dict(record["result"])
+                elif not retry_poisoned:
+                    # A stored failure already exhausted its retries once;
+                    # quarantine it instead of letting a deterministic
+                    # crasher re-wedge every resume.
+                    detail = record.get("failure")
+                    if detail:
+                        failure = CellFailure.from_dict(detail)
+                    else:  # minimal pre-detail record
+                        failure = CellFailure(
+                            key[0], key[1], "Unknown",
+                            "stored failure record without detail", "",
+                            record.get("attempts", 1),
+                        )
+                    failure.poisoned = True
+                    poisoned.append(failure)
 
-        to_run = [cell for cell in cells if cell.key not in replayed]
+        quarantined = {(f.workload, f.config) for f in poisoned}
+        to_run = [
+            cell for cell in cells
+            if cell.key not in replayed and cell.key not in quarantined
+        ]
 
         # Attempt-start fan-out: user callback, observer, JSONL log.
         notify: Optional[_Notify] = None
@@ -868,25 +1055,47 @@ def run_sweep(
             observer.on_sweep_start(len(to_run), workers)
         logger.event(
             "sweep.start", cells=len(cells), to_run=len(to_run),
-            replayed=len(replayed), workers=workers, workloads=names,
-            configs=list(configs),
+            replayed=len(replayed), poisoned=len(poisoned), workers=workers,
+            workloads=names, configs=list(configs),
         )
+
+        # Hang observations (engine fires these before the retry
+        # decision, so recycled-and-retried hangs are recorded too).
+        hangs: List[Dict[str, Any]] = []
+
+        def on_hang(spec: CellSpec, attempt: int, pid: Optional[int],
+                    grace: float) -> None:
+            hangs.append({
+                "workload": spec.workload, "config": spec.config_name,
+                "attempt": attempt, "pid": pid, "grace": grace,
+                "detected_at": time.time(),
+            })
+            parent_tele.count("sweep.worker.hung")
+            logger.event(
+                "worker.hung", workload=spec.workload, config=spec.config_name,
+                attempt=attempt, pid=pid, grace=grace,
+            )
 
         execute_start = time.time()
         t0 = time.monotonic()
         if not to_run:
             engine: Iterator[_CellDone] = iter(())
-        elif timeout is not None:
+        elif timeout is not None or hang_grace is not None:
             engine = _run_processes(
-                to_run, workers, timeout, retry, fault_hook, notify, collect
+                to_run, workers, timeout, retry, fault_hook, notify, collect,
+                plan, hang_grace, on_hang,
             )
         elif workers > 1:
-            engine = _run_pool(to_run, workers, retry, fault_hook, notify, collect)
+            engine = _run_pool(to_run, workers, retry, fault_hook, notify,
+                               collect, plan)
         else:
             engine = _run_serial(to_run, retry, fault_hook, notify, collect)
 
         completed: Dict[CellKey, SimulationResult] = dict(replayed)
-        failures: List[CellFailure] = []
+        failures: List[CellFailure] = list(poisoned)
+        fresh_failures = 0
+        aborted = False
+        abort_reason = ""
         attempts: Dict[CellKey, int] = {}
         cell_telemetry: Dict[CellKey, Dict[str, Any]] = {}
         for spec, outcome, cell_attempts, elapsed in engine:
@@ -915,6 +1124,7 @@ def run_sweep(
             else:
                 failure = _failure_from_outcome(spec, outcome, cell_attempts)
                 failures.append(failure)
+                fresh_failures += 1
                 if failure.telemetry is not None:
                     parent_tele.merge(failure.telemetry)
                 if run_store is not None:
@@ -933,6 +1143,24 @@ def run_sweep(
                     elapsed,
                     counters=(cell_telemetry.get(spec.key) or {}).get("counters"),
                 )
+            if (
+                max_failure_rate is not None
+                and fresh_failures > max_failure_rate * len(cells)
+            ):
+                aborted = True
+                abort_reason = (
+                    f"{fresh_failures} of {len(cells)} cells failed, exceeding "
+                    f"the max_failure_rate={max_failure_rate:g} circuit breaker"
+                )
+                parent_tele.count("sweep.aborted")
+                logger.event(
+                    "sweep.aborted", reason=abort_reason,
+                    failed=fresh_failures, cells=len(cells),
+                )
+                # Closing the generator runs the engine's finally block:
+                # in-flight workers are killed, nothing else is scheduled.
+                engine.close()
+                break
         if collect:
             sweep_phases["execute"] = [execute_start, time.monotonic() - t0]
     finally:
@@ -957,11 +1185,14 @@ def run_sweep(
         cell_telemetry=cell_telemetry,
         telemetry=(
             {"started": sweep_started, "wall_time": wall_time,
-             "phases": sweep_phases, **snapshot}
+             "phases": sweep_phases, "hangs": hangs, **snapshot}
             if collect
             else None
         ),
         wall_time=wall_time,
+        poisoned=len(poisoned),
+        aborted=aborted,
+        abort_reason=abort_reason,
     )
     if ambient.enabled and ambient is not parent_tele:
         # Surface everything (worker counters included) to the caller's

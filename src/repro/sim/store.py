@@ -11,10 +11,24 @@ completed work:
   the serialized :class:`~repro.sim.results.SimulationResult`, or
   ``status: "failed"`` with the structured failure record.
 
-The file is strictly append-only (crash-safe: every line is flushed and
-fsynced); a torn final line from a crash mid-write is tolerated and the
-cell simply re-runs.  When the same cell appears more than once (a
-failed cell re-run on resume), the **last** line wins.
+Failure model (see also docs/ARCHITECTURE.md, "Failure model"):
+
+- every append is flushed and fsynced, so a recorded cell is never lost
+  to a later crash;
+- only one writer at a time: :meth:`RunStore.start` takes an advisory
+  ``flock`` on a ``<path>.lock`` sidecar, and a concurrent writer gets
+  :class:`~repro.common.errors.StoreLockedError` immediately instead of
+  interleaving records;
+- a torn *final* line (crash mid-append) is tolerated — the cell simply
+  re-runs — and :meth:`RunStore.start` truncates it away before
+  appending so the next record never concatenates onto the tear;
+- corruption anywhere else no longer strands the campaign: corrupt
+  lines are **quarantined** (reported by :meth:`RunStore.load_report`,
+  moved to a ``<path>.quarantine`` sidecar by :meth:`RunStore.repair`)
+  while every intact record is preserved;
+- when the same cell appears more than once (a failed cell re-run on
+  resume), the **last** line wins; :meth:`RunStore.repair` compacts
+  superseded duplicates away.
 
 Resume safety: :meth:`RunStore.start` refuses to continue into a store
 whose manifest disagrees on length/seed/warmup/machine, or whose named
@@ -26,9 +40,19 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
-from ..common.errors import StoreError
+from ..common.errors import StoreError, StoreLockedError
+from ..faults.injector import current_injector
+from ..obs.logging import current_logger
+from ..obs.metrics import current as current_telemetry
+
+try:  # advisory locking is POSIX-only; elsewhere the store runs unlocked
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
@@ -37,6 +61,73 @@ STORE_VERSION = 1
 
 #: Key identifying one cell: ``(workload, config_name)``.
 CellKey = Tuple[str, str]
+
+
+@dataclass(frozen=True)
+class LineIssue:
+    """One store line that could not be used as-is."""
+
+    lineno: int
+    reason: str
+    text: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able form (what the quarantine sidecar stores)."""
+        return {"lineno": self.lineno, "reason": self.reason, "raw": self.text}
+
+
+@dataclass
+class LoadReport:
+    """Everything one scan of a checkpoint store found.
+
+    ``cells`` holds the surviving (recovered) records — last line wins
+    per key; ``quarantined`` the lines that parse or validate as
+    garbage anywhere before the tail; ``superseded`` the earlier
+    duplicates that a newer record for the same cell replaced;
+    ``torn_tail`` the undecodable final line a crash mid-append leaves
+    behind (tolerated, not corruption).  :meth:`RunStore.repair` moves
+    quarantined/superseded/torn lines into the ``.quarantine`` sidecar
+    and rewrites the store compacted.
+    """
+
+    path: str
+    manifest: Optional[Dict[str, Any]] = None
+    cells: Dict[CellKey, Dict[str, Any]] = field(default_factory=dict)
+    quarantined: List[LineIssue] = field(default_factory=list)
+    superseded: List[LineIssue] = field(default_factory=list)
+    torn_tail: Optional[LineIssue] = None
+    total_lines: int = 0
+    manifests: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing needed quarantining and the tail is whole."""
+        return not self.quarantined and self.torn_tail is None
+
+    @property
+    def ok_cells(self) -> int:
+        """Recovered cells with a usable result."""
+        return sum(1 for rec in self.cells.values() if rec.get("status") == "ok")
+
+    @property
+    def failed_cells(self) -> int:
+        """Recovered cells that recorded a structured failure."""
+        return len(self.cells) - self.ok_cells
+
+    def summary(self) -> str:
+        """One-line human digest, shared by the CLI and tests."""
+        parts = [
+            f"{self.total_lines} lines: {len(self.cells)} cells recovered "
+            f"({self.ok_cells} ok, {self.failed_cells} failed), "
+            f"{self.manifests} manifest(s)"
+        ]
+        if self.quarantined:
+            parts.append(f"{len(self.quarantined)} quarantined")
+        if self.superseded:
+            parts.append(f"{len(self.superseded)} superseded duplicate(s)")
+        if self.torn_tail is not None:
+            parts.append("torn trailing line")
+        return "; ".join(parts)
 
 
 class RunStore:
@@ -54,27 +145,38 @@ class RunStore:
         """Bind to *path*; the file is opened lazily on first append."""
         self.path = os.fspath(path)
         self._fh = None
+        self._lock_fh = None
+
+    @property
+    def lock_path(self) -> str:
+        """The advisory-lock sidecar (never replaced, so flocks stay valid)."""
+        return self.path + ".lock"
+
+    @property
+    def quarantine_path(self) -> str:
+        """The sidecar where :meth:`repair` preserves unusable lines."""
+        return self.path + ".quarantine"
 
     # -- reading -------------------------------------------------------------
 
-    def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[CellKey, Dict[str, Any]]]:
-        """Read the store: ``(latest_manifest, {(workload, config): cell})``.
+    def load_report(self) -> LoadReport:
+        """Scan the store and classify every line; never raises on corruption.
 
-        Tolerates a torn (undecodable or incomplete) *final* line — the
-        signature of a crash mid-append — but raises :class:`StoreError`
-        for corruption anywhere else, or for cell lines that precede any
-        manifest.
+        Raises :class:`StoreError` only for an unreadable file or an
+        unsupported format version (reading an unknown format is
+        unsafe, not recoverable).
         """
+        report = LoadReport(path=self.path)
         if not os.path.exists(self.path):
-            return None, {}
+            return report
         try:
             with open(self.path, "r", encoding="utf-8") as fh:
                 lines = fh.readlines()
         except OSError as exc:
             raise StoreError(f"cannot read store {self.path}: {exc}") from exc
-        manifest: Optional[Dict[str, Any]] = None
-        cells: Dict[CellKey, Dict[str, Any]] = {}
+        report.total_lines = len(lines)
         last = len(lines) - 1
+        last_line_for: Dict[CellKey, Tuple[int, str]] = {}
         for lineno, line in enumerate(lines):
             text = line.strip()
             if not text:
@@ -83,11 +185,14 @@ class RunStore:
                 record = json.loads(text)
                 kind = record["kind"]
             except (ValueError, TypeError, KeyError) as exc:
+                issue = LineIssue(lineno + 1, f"undecodable line ({exc!r})", text)
                 if lineno == last:
-                    break  # torn trailing write; the cell will simply re-run
-                raise StoreError(
-                    f"{self.path}:{lineno + 1}: corrupt store line ({exc!r})"
-                ) from exc
+                    # The signature of a crash mid-append: tolerated,
+                    # the interrupted cell simply re-runs.
+                    report.torn_tail = issue
+                else:
+                    report.quarantined.append(issue)
+                continue
             if kind == "manifest":
                 version = record.get("version")
                 if version != STORE_VERSION:
@@ -95,24 +200,47 @@ class RunStore:
                         f"{self.path}:{lineno + 1}: unsupported store version "
                         f"{version!r} (this build reads {STORE_VERSION})"
                     )
-                manifest = record
+                report.manifest = record
+                report.manifests += 1
             elif kind == "cell":
-                if manifest is None:
-                    raise StoreError(
-                        f"{self.path}:{lineno + 1}: cell record before any manifest"
+                if report.manifest is None:
+                    report.quarantined.append(
+                        LineIssue(lineno + 1, "cell record before any manifest",
+                                  text)
                     )
+                    continue
                 try:
                     key = (record["workload"], record["config"])
                 except KeyError as exc:
-                    raise StoreError(
-                        f"{self.path}:{lineno + 1}: cell record missing {exc}"
-                    ) from exc
-                cells[key] = record
+                    report.quarantined.append(
+                        LineIssue(lineno + 1, f"cell record missing {exc}", text)
+                    )
+                    continue
+                if key in last_line_for:
+                    prior_lineno, prior_text = last_line_for[key]
+                    report.superseded.append(
+                        LineIssue(prior_lineno, "superseded duplicate cell record",
+                                  prior_text)
+                    )
+                last_line_for[key] = (lineno + 1, text)
+                report.cells[key] = record
             else:
-                raise StoreError(
-                    f"{self.path}:{lineno + 1}: unknown record kind {kind!r}"
+                report.quarantined.append(
+                    LineIssue(lineno + 1, f"unknown record kind {kind!r}", text)
                 )
-        return manifest, cells
+        return report
+
+    def load(self) -> Tuple[Optional[Dict[str, Any]], Dict[CellKey, Dict[str, Any]]]:
+        """Read the store: ``(latest_manifest, {(workload, config): cell})``.
+
+        Corruption never strands the campaign: torn or garbage lines
+        are skipped (see :meth:`load_report` for which, and
+        :meth:`repair` to quarantine them to the sidecar); every intact
+        record is returned.  Raises :class:`StoreError` only for an
+        unreadable file or an unsupported format version.
+        """
+        report = self.load_report()
+        return report.manifest, report.cells
 
     def telemetries(self) -> Dict[CellKey, Optional[Dict[str, Any]]]:
         """Per-cell telemetry dicts, ``None`` for cells stored without any.
@@ -129,6 +257,138 @@ class RunStore:
             for key, rec in sorted(cells.items())
         }
 
+    # -- repair --------------------------------------------------------------
+
+    def repair(self) -> LoadReport:
+        """Quarantine unusable lines and rewrite the store compacted.
+
+        Quarantined, superseded, and torn-tail lines are appended to
+        the ``.quarantine`` sidecar (as JSON records with line number
+        and reason); the store is rewritten as the latest manifest plus
+        exactly one line per cell (last wins), via a temp file, fsync,
+        and atomic rename — a crash mid-repair leaves either the old or
+        the new store, never a hybrid.  Returns the pre-repair
+        :class:`LoadReport`.  Requires the store to be closed for
+        appending; takes the writer lock for the duration.
+        """
+        if self._fh is not None:
+            raise StoreError(
+                f"store {self.path} is open for appending; close() before repair()"
+            )
+        owned_lock = self._lock_fh is None
+        if owned_lock:
+            self._acquire_lock()
+        try:
+            report = self.load_report()
+            if not os.path.exists(self.path):
+                return report
+            self._write_sidecar(report)
+            self._rewrite_compacted(report)
+        finally:
+            if owned_lock:
+                self._release_lock()
+        current_telemetry().count("store.repairs")
+        current_logger().event(
+            "store.repair", path=self.path,
+            quarantined=len(report.quarantined),
+            superseded=len(report.superseded),
+            torn_tail=report.torn_tail is not None,
+            cells=len(report.cells),
+        )
+        return report
+
+    def _write_sidecar(self, report: LoadReport) -> None:
+        """Append every unusable line to the ``.quarantine`` sidecar."""
+        issues = list(report.quarantined) + list(report.superseded)
+        if report.torn_tail is not None:
+            issues.append(report.torn_tail)
+        if not issues:
+            return
+        try:
+            with open(self.quarantine_path, "a", encoding="utf-8") as fh:
+                for issue in sorted(issues, key=lambda i: i.lineno):
+                    fh.write(json.dumps({**issue.to_dict(),
+                                         "quarantined_at": time.time()},
+                                        separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise StoreError(
+                f"cannot write quarantine sidecar {self.quarantine_path}: {exc}"
+            ) from exc
+
+    def _rewrite_compacted(self, report: LoadReport) -> None:
+        """Atomically replace the store with its compacted contents."""
+        tmp_path = f"{self.path}.compact.{os.getpid()}.tmp"
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                if report.manifest is not None:
+                    fh.write(json.dumps(report.manifest,
+                                        separators=(",", ":")) + "\n")
+                for _key, record in report.cells.items():
+                    fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp_path, self.path)
+            self._fsync_dir()
+        except OSError as exc:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise StoreError(f"cannot compact store {self.path}: {exc}") from exc
+
+    def _fsync_dir(self) -> None:
+        """Best-effort fsync of the containing directory (rename durability)."""
+        dirname = os.path.dirname(os.path.abspath(self.path))
+        try:
+            dir_fd = os.open(dirname, os.O_RDONLY)
+        except OSError:  # pragma: no cover — e.g. permissions
+            return
+        try:
+            os.fsync(dir_fd)
+        except OSError:  # pragma: no cover — not supported on this FS
+            pass
+        finally:
+            os.close(dir_fd)
+
+    # -- locking -------------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        """Take the advisory writer lock, or raise :class:`StoreLockedError`.
+
+        Re-entrant per instance (one ``RunStore`` serving several
+        ``run_sweep`` groups keeps its lock between them).  A no-op on
+        platforms without ``fcntl``.
+        """
+        if fcntl is None or self._lock_fh is not None:  # pragma: no branch
+            return
+        try:
+            fh = open(self.lock_path, "a+", encoding="utf-8")
+        except OSError as exc:
+            raise StoreError(
+                f"cannot open store lock {self.lock_path}: {exc}"
+            ) from exc
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError as exc:
+            fh.close()
+            raise StoreLockedError(
+                f"store {self.path} is held by another writer "
+                f"(advisory lock {self.lock_path}); concurrent sweeps must "
+                f"use distinct stores"
+            ) from exc
+        self._lock_fh = fh
+
+    def _release_lock(self) -> None:
+        if self._lock_fh is not None:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(self._lock_fh.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._lock_fh.close()
+                self._lock_fh = None
+
     # -- writing -------------------------------------------------------------
 
     def start(
@@ -136,27 +396,56 @@ class RunStore:
     ) -> Dict[CellKey, Dict[str, Any]]:
         """Open the store for appending and return previously stored cells.
 
-        A fresh store gets *manifest* as its first line.  A non-empty
-        store requires ``resume=True`` (protecting completed work from
-        accidental reuse of the same path) and must be **compatible**:
-        same length/seed/warmup/machine digest, and identical digests
-        for every configuration name both runs share.  A new manifest
-        line is appended on every start, leaving an audit trail.
+        Takes the writer lock first (:class:`StoreLockedError` if
+        another process holds it).  A fresh store gets *manifest* as
+        its first line.  A non-empty store requires ``resume=True``
+        (protecting completed work from accidental reuse of the same
+        path) and must be **compatible**: same length/seed/warmup/
+        machine digest, and identical digests for every configuration
+        name both runs share.  A torn trailing line or corrupt interior
+        lines found on open are repaired away (quarantined to the
+        sidecar, survivors compacted) before the first append, so new
+        records never land on a tear.  A new manifest line is appended
+        on every start, leaving an audit trail.
         """
-        prior, cells = self.load()
-        if prior is not None:
-            if not resume:
-                raise StoreError(
-                    f"store {self.path} already contains a run; pass resume=True "
-                    f"to continue it or remove the file to start over"
-                )
-            _check_compatible(self.path, prior, manifest)
+        self._acquire_lock()
         try:
-            self._fh = open(self.path, "a", encoding="utf-8")
-        except OSError as exc:
-            raise StoreError(f"cannot open store {self.path}: {exc}") from exc
+            report = self.load_report()
+            if not report.clean and self._fh is None:
+                self._repair_under_lock(report)
+                report = self.load_report()
+            prior, cells = report.manifest, report.cells
+            if prior is not None:
+                if not resume:
+                    raise StoreError(
+                        f"store {self.path} already contains a run; pass "
+                        f"resume=True to continue it or remove the file to "
+                        f"start over"
+                    )
+                _check_compatible(self.path, prior, manifest)
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            try:
+                self._fh = open(self.path, "ab")
+            except OSError as exc:
+                raise StoreError(f"cannot open store {self.path}: {exc}") from exc
+        except BaseException:
+            self._release_lock()
+            raise
         self._append({"kind": "manifest", "version": STORE_VERSION, **manifest})
         return cells
+
+    def _repair_under_lock(self, report: LoadReport) -> None:
+        """The auto-repair :meth:`start` runs when it finds damage."""
+        current_telemetry().count("store.auto_repairs")
+        current_logger().event(
+            "store.auto_repair", path=self.path,
+            quarantined=len(report.quarantined),
+            torn_tail=report.torn_tail is not None,
+        )
+        self._write_sidecar(report)
+        self._rewrite_compacted(report)
 
     def record_result(
         self,
@@ -212,20 +501,34 @@ class RunStore:
     def _append(self, record: Mapping[str, Any]) -> None:
         if self._fh is None:
             raise StoreError(f"store {self.path} is not open; call start() first")
+        data = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        after = None
+        injector = current_injector()
+        if injector.armed:
+            context: Dict[str, Any] = {"kind": record.get("kind")}
+            if "workload" in record:
+                context["workload"] = record["workload"]
+                context["config"] = record.get("config")
+            data, after = injector.on_write("store.append", data, **context)
         try:
-            self._fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+            self._fh.write(data)
             self._fh.flush()
+            if injector.armed:
+                injector.on_event("store.fsync", kind=record.get("kind"))
             os.fsync(self._fh.fileno())
+            if after is not None:
+                after()  # injected torn write: the tear is on disk; now crash
         except OSError as exc:
             raise StoreError(f"cannot append to store {self.path}: {exc}") from exc
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
-        """Close the append handle; reads and reopening still work."""
+        """Close the append handle and release the writer lock."""
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+        self._release_lock()
 
     def __enter__(self) -> "RunStore":
         return self
@@ -241,12 +544,12 @@ def _check_compatible(
     path: str, prior: Mapping[str, Any], manifest: Mapping[str, Any]
 ) -> None:
     """Raise :class:`StoreError` if *manifest* cannot resume over *prior*."""
-    for field in ("length", "seed", "warmup", "machine"):
-        if prior.get(field) != manifest.get(field):
+    for field_name in ("length", "seed", "warmup", "machine"):
+        if prior.get(field_name) != manifest.get(field_name):
             raise StoreError(
                 f"store {path} was written by an incompatible sweep: "
-                f"{field} was {prior.get(field)!r}, resuming run has "
-                f"{manifest.get(field)!r}"
+                f"{field_name} was {prior.get(field_name)!r}, resuming run has "
+                f"{manifest.get(field_name)!r}"
             )
     prior_configs = prior.get("configs", {})
     new_configs = manifest.get("configs", {})

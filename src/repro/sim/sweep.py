@@ -76,8 +76,11 @@ def run_suite(
     workers: int = 1,
     timeout: Optional[float] = None,
     retries: int = 0,
+    hang_grace: Optional[float] = None,
+    max_failure_rate: Optional[float] = None,
     store: Optional[Union[RunStore, str, "os.PathLike[str]"]] = None,
     resume: bool = False,
+    retry_poisoned: bool = False,
     trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = True,
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run many workloads under many configurations.
@@ -93,8 +96,13 @@ def run_suite(
     - ``timeout``: per-cell wall-clock budget in seconds (a cell over
       budget is killed and recorded);
     - ``retries``: re-attempt transiently-failed cells with backoff;
+    - ``hang_grace``: supervise worker heartbeats and recycle workers
+      that stop beating for this many seconds;
+    - ``max_failure_rate``: circuit breaker — abort cleanly when more
+      than this fraction of cells fail;
     - ``store`` / ``resume``: checkpoint cells to a JSONL file and
-      replay completed ones on a re-run.
+      replay completed ones on a re-run (``retry_poisoned`` re-executes
+      stored failures instead of quarantining them).
 
     ``trace_cache`` (default on) shares one content-addressed, on-disk
     materialization of each workload trace across configurations,
@@ -107,7 +115,10 @@ def run_suite(
     directly to get partial results plus structured failures without
     the raise.
     """
-    if workers == 1 and timeout is None and retries == 0 and store is None:
+    if (
+        workers == 1 and timeout is None and retries == 0 and store is None
+        and hang_grace is None and max_failure_rate is None
+    ):
         names = list(workloads) if workloads is not None else list(SPEC2000)
         out: Dict[str, Dict[str, SimulationResult]] = {}
         for name in names:
@@ -141,8 +152,11 @@ def run_suite(
         workers=workers,
         timeout=timeout,
         retries=retries,
+        hang_grace=hang_grace,
+        max_failure_rate=max_failure_rate,
         store=store,
         resume=resume,
+        retry_poisoned=retry_poisoned,
         trace_cache=trace_cache,
     )
     report.raise_on_failure()

@@ -32,6 +32,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
@@ -39,10 +40,16 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 import numpy as np
 
 from ..common.errors import TraceError
+from ..faults.injector import current_injector
 from ..obs.logging import current_logger
 from ..obs.metrics import current as current_telemetry
 from .trace import COLUMN_DTYPES, Trace
 from .workloads import GENERATOR_VERSION, build_workload
+
+try:  # build locking is POSIX-only; elsewhere concurrent builds just race
+    import fcntl
+except ImportError:  # pragma: no cover — non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 #: Environment variable overriding the default cache root.
 CACHE_ENV_VAR = "REPRO_TRACE_CACHE"
@@ -103,6 +110,9 @@ class TraceCache:
 
     root: Path = field(default_factory=default_cache_root)
     verify: bool = True
+    #: Age in seconds past which a leftover ``.tmp`` write directory (a
+    #: crashed writer's residue) is deleted on open; 0 deletes any.
+    stale_after: float = 3600.0
     hits: int = 0
     misses: int = 0
     rebuilds: int = 0
@@ -110,11 +120,43 @@ class TraceCache:
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
+        self._clean_stale_tmp()
+
+    def _clean_stale_tmp(self) -> None:
+        """Delete write-temp directories a crashed writer stranded.
+
+        A writer that died mid-:meth:`put` (kill -9, OOM) leaves a
+        dot-prefixed temp directory behind; it is invisible to lookups
+        but leaks disk forever.  Anything older than ``stale_after`` is
+        safe to remove — live writers finish in seconds.
+        """
+        if not self.root.is_dir():
+            return
+        cutoff = time.time() - self.stale_after
+        removed = 0
+        for child in self.root.iterdir():
+            if not (child.name.startswith(".") and child.is_dir()):
+                continue
+            try:
+                if child.stat().st_mtime <= cutoff:
+                    _rmtree_quiet(child)
+                    removed += 1
+            except OSError:  # pragma: no cover — raced with another cleaner
+                continue
+        if removed:
+            current_telemetry().count("trace_cache.stale_tmp_removed", removed)
+            current_logger().event(
+                "trace_cache.stale_tmp_removed", root=str(self.root), count=removed,
+            )
 
     # -- lookup -------------------------------------------------------------
 
     def get(self, workload: str, length: int, seed: int) -> Optional[Trace]:
         """Load a cached trace, or None if absent/invalid (a miss)."""
+        injector = current_injector()
+        if injector.armed:
+            injector.on_event("cache.read", workload=workload,
+                              length=length, seed=seed)
         key = trace_key(workload, length, seed)
         entry = self.root / key
         trace, reason = self._load(entry, workload, length, seed)
@@ -200,6 +242,8 @@ class TraceCache:
                 path = tmpdir / fname
                 with open(path, "wb") as f:
                     np.save(f, np.ascontiguousarray(arr))
+                    f.flush()
+                    os.fsync(f.fileno())
                 digests.append(_file_digest(path))
             meta = {
                 "format": CACHE_FORMAT,
@@ -210,8 +254,23 @@ class TraceCache:
                 "total_gap": trace.total_gap_cycles,
                 "digests": digests,
             }
-            with open(tmpdir / "meta.json", "w", encoding="utf-8") as f:
-                json.dump(meta, f, indent=1)
+            payload = json.dumps(meta, indent=1).encode("utf-8")
+            after = None
+            injector = current_injector()
+            if injector.armed:
+                payload, after = injector.on_write(
+                    "cache.write", payload, workload=workload,
+                    length=length, seed=seed,
+                )
+            # fsync before the renames: os.replace orders the entry into
+            # existence, but only a flushed meta.json makes the commit
+            # point durable across power loss.
+            with open(tmpdir / "meta.json", "wb") as f:
+                f.write(payload)
+                f.flush()
+                os.fsync(f.fileno())
+            if after is not None:
+                after()  # injected torn meta write: crash before the commit
             entry.mkdir(exist_ok=True)
             for fname in _COLUMN_FILES:  # meta.json last: it's the commit point
                 os.replace(tmpdir / fname, entry / fname)
@@ -234,26 +293,42 @@ class TraceCache:
         and cold.  If the cache directory is unusable (read-only FS,
         quota), falls back to returning the built trace directly —
         caching degrades, correctness doesn't.
+
+        Concurrent callers missing on the same key coordinate through a
+        per-entry advisory lock: one builds, the rest block and then
+        serve the freshly committed entry instead of redoing the
+        synthesis (``trace_cache.build_lock_wait`` counts the waiters).
         """
         cached = self.get(workload, length, seed)
         if cached is not None:
             return cached
-        self.rebuilds += 1
-        current_telemetry().count("trace_cache.rebuild")
-        with current_telemetry().timer("trace_cache.build_seconds"):
-            if builder is None:
-                trace = build_workload(workload, length=length, seed=seed)
-            else:
-                trace = builder()
-        current_logger().event(
-            "trace_cache.rebuild", workload=workload, length=length, seed=seed,
-        )
-        try:
-            self.put(trace, workload, length, seed)
-        except OSError:
-            return trace
+        with self._build_lock(trace_key(workload, length, seed)) as waited:
+            if waited:
+                # Another process held the build lock; its entry may have
+                # landed while we blocked.
+                cached = self.get(workload, length, seed)
+                if cached is not None:
+                    return cached
+            self.rebuilds += 1
+            current_telemetry().count("trace_cache.rebuild")
+            with current_telemetry().timer("trace_cache.build_seconds"):
+                if builder is None:
+                    trace = build_workload(workload, length=length, seed=seed)
+                else:
+                    trace = builder()
+            current_logger().event(
+                "trace_cache.rebuild", workload=workload, length=length, seed=seed,
+            )
+            try:
+                self.put(trace, workload, length, seed)
+            except OSError:
+                return trace
         reloaded = self.get(workload, length, seed)
         return reloaded if reloaded is not None else trace
+
+    def _build_lock(self, key: str) -> "_EntryLock":
+        """Advisory per-entry lock serializing rebuilds of one key."""
+        return _EntryLock(self.root / f".{key}.lock")
 
     def prewarm(self, workload: str, length: int, seed: int) -> bool:
         """Ensure an entry exists; True if it had to be built."""
@@ -296,6 +371,46 @@ class TraceCache:
                 _rmtree_quiet(child)
                 count += 1
         return count
+
+
+class _EntryLock:
+    """Context manager flocking one cache entry's ``.lock`` sidecar.
+
+    ``__enter__`` returns True when the lock was contended (we blocked
+    behind another builder — re-check the cache before building).
+    Degrades to a no-op when ``fcntl`` is unavailable or the lock file
+    cannot be created (read-only root): builds then race, which is
+    merely wasteful — writers commit identical bytes atomically.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self._fh = None
+
+    def __enter__(self) -> bool:
+        if fcntl is None:
+            return False
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a+", encoding="utf-8")
+        except OSError:
+            self._fh = None
+            return False
+        try:
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            return False
+        except OSError:
+            current_telemetry().count("trace_cache.build_lock_wait")
+            fcntl.flock(self._fh.fileno(), fcntl.LOCK_EX)
+            return True
+
+    def __exit__(self, *exc: object) -> None:
+        if self._fh is not None:
+            try:
+                fcntl.flock(self._fh.fileno(), fcntl.LOCK_UN)
+            finally:
+                self._fh.close()
+                self._fh = None
 
 
 def _rmtree_quiet(path: Path) -> None:

@@ -1,0 +1,9 @@
+"""Chaos suite: whole-pipeline runs under seeded fault plans.
+
+Unlike ``tests/faults/`` (unit tests of the injection machinery
+itself), these tests drive the real sweep substrate — ``RunStore``,
+``TraceCache``, ``run_sweep``, ``run_paper`` — under injected crashes,
+torn writes, and ENOSPC, and assert the robustness contract: no
+recorded result is lost, no corrupt entry is ever served, and a warm
+resume after any crash converges to the fault-free store contents.
+"""

@@ -1,0 +1,41 @@
+"""Fixtures for the chaos suite.
+
+``--chaos-seed`` (registered in the repo-level ``conftest.py``) feeds
+the generated fault plans; the default is fixed so CI is
+deterministic, and the random-seed smoke job passes ``$RANDOM``.  When
+``REPRO_CHAOS_ARTIFACTS`` points at a directory, every generated plan
+is also saved there so a failing run can upload the exact plan that
+broke it.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture()
+def chaos_seed(request):
+    """The seed for generated fault plans, from ``--chaos-seed``."""
+    return int(request.config.getoption("--chaos-seed"))
+
+
+@pytest.fixture()
+def save_plan():
+    """Persist a fault plan for post-mortem upload.
+
+    Returns ``save(plan, name) -> Optional[Path]``: writes
+    ``<name>.json`` under ``$REPRO_CHAOS_ARTIFACTS`` when that is set
+    (CI uploads the directory only for red runs, so saving eagerly is
+    harmless), else does nothing.
+    """
+    artifacts = os.environ.get("REPRO_CHAOS_ARTIFACTS")
+
+    def save(plan, name):
+        if not artifacts:
+            return None
+        root = Path(artifacts)
+        root.mkdir(parents=True, exist_ok=True)
+        return plan.save(root / f"{name}.json")
+
+    return save

@@ -1,0 +1,126 @@
+"""Tests for FaultSpec/FaultPlan: validation, triggering, serialization."""
+
+import errno
+import json
+
+import pytest
+
+from repro.common.errors import FaultPlanError
+from repro.faults import KNOWN_SITES, FaultPlan, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(FaultPlanError, match="unknown fault mode"):
+            FaultSpec("store.append", "explode")
+
+    def test_rejects_unknown_exception(self):
+        with pytest.raises(FaultPlanError, match="unknown exception"):
+            FaultSpec("store.append", "raise", exception="KeyboardInterrupt")
+
+    def test_rejects_unknown_errno(self):
+        with pytest.raises(FaultPlanError, match="errno"):
+            FaultSpec("store.append", "raise", errno_name="ENOPE")
+
+    def test_rejects_bad_trigger_fields(self):
+        with pytest.raises(FaultPlanError, match="'at'"):
+            FaultSpec("store.append", "raise", at=0)
+        with pytest.raises(FaultPlanError, match="'count'"):
+            FaultSpec("store.append", "raise", count=-1)
+        with pytest.raises(FaultPlanError, match="'then'"):
+            FaultSpec("store.append", "torn_write", then="explode")
+
+
+class TestTriggering:
+    def test_match_requires_site_and_context_subset(self):
+        spec = FaultSpec("worker.mid_cell", "raise", match={"workload": "gzip"})
+        assert spec.matches("worker.mid_cell", {"workload": "gzip", "attempt": 1})
+        assert not spec.matches("worker.mid_cell", {"workload": "eon"})
+        assert not spec.matches("worker.mid_cell", {})  # key absent
+        assert not spec.matches("worker.start", {"workload": "gzip"})
+
+    def test_window_at_and_count(self):
+        spec = FaultSpec("store.append", "raise", at=3, count=2)
+        assert [spec.in_window(h) for h in (1, 2, 3, 4, 5, 6)] == [
+            False, False, True, True, False, False,
+        ]
+
+    def test_count_zero_fires_forever(self):
+        spec = FaultSpec("store.append", "raise", at=2, count=0)
+        assert not spec.in_window(1)
+        assert all(spec.in_window(h) for h in range(2, 50))
+
+    def test_build_exception_oserror_errno(self):
+        spec = FaultSpec("store.append", "raise", errno_name="ENOSPC")
+        exc = spec.build_exception("store.append")
+        assert isinstance(exc, OSError)
+        assert exc.errno == errno.ENOSPC
+        assert "store.append" in str(exc)
+
+    def test_build_exception_named_class(self):
+        exc = FaultSpec("cache.read", "raise",
+                        exception="RuntimeError").build_exception("cache.read")
+        assert type(exc) is RuntimeError
+
+
+class TestPlanSerialization:
+    def test_round_trips_through_json(self, tmp_path):
+        plan = (
+            FaultPlan(seed=7, journal=str(tmp_path / "journal.jsonl"))
+            .add("store.append", "torn_write", trunc_bytes=11, then="kill9")
+            .add("worker.mid_cell", "raise", match={"workload": "gzip"}, at=2)
+        )
+        path = plan.save(tmp_path / "plan.json")
+        loaded = FaultPlan.load(path)
+        assert loaded.to_dict() == plan.to_dict()
+        assert loaded.specs[0].trunc_bytes == 11
+        assert loaded.specs[1].match == {"workload": "gzip"}
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = {
+            "seed": 1,
+            "future_field": True,
+            "specs": [{"site": "cache.read", "mode": "raise", "novel_knob": 3}],
+        }
+        plan = FaultPlan.from_dict(data)
+        assert len(plan.specs) == 1
+        assert plan.specs[0].site == "cache.read"
+
+    def test_read_journal_tolerates_torn_tail(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_text(
+            json.dumps({"site": "store.append", "mode": "kill9"}) + "\n"
+            + '{"site": "store.f'  # the kill itself tore this line
+        )
+        plan = FaultPlan(journal=str(journal))
+        records = plan.read_journal()
+        assert len(records) == 1
+        assert records[0]["site"] == "store.append"
+
+    def test_describe_is_human_readable(self):
+        plan = FaultPlan(seed=3).add("store.append", "hang", seconds=None)
+        text = plan.describe()
+        assert "seed 3" in text
+        assert "SIGSTOP" in text
+
+
+class TestRandomPlans:
+    def test_deterministic_per_seed(self):
+        a = FaultPlan.random(42)
+        b = FaultPlan.random(42)
+        assert a.to_dict() == b.to_dict()
+        assert a.seed == 42
+
+    def test_different_seeds_eventually_differ(self):
+        plans = {json.dumps(FaultPlan.random(s).to_dict()) for s in range(20)}
+        assert len(plans) > 1
+
+    def test_only_uses_requested_sites_and_safe_modes(self):
+        for seed in range(30):
+            plan = FaultPlan.random(seed)
+            for spec in plan.specs:
+                assert spec.site in KNOWN_SITES
+                assert spec.mode in ("raise", "torn_write")
+                if spec.mode == "torn_write":
+                    # demoted to raise anywhere that is not a write site
+                    assert spec.site.endswith((".append", ".write"))

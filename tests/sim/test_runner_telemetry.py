@@ -40,6 +40,7 @@ class TestCellFailureRoundTrip:
             "telemetry": {"pid": 123, "attempt": 3,
                           "phases": {"synthesis": [1.0, 0.5]},
                           "counters": {"trace_cache.miss": 1}},
+            "poisoned": True,
         }
         assert set(values) == {f.name for f in dataclasses.fields(CellFailure)}
         return CellFailure(**values)

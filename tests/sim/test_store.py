@@ -114,7 +114,7 @@ class TestCorruption:
         assert manifest is not None
         assert set(cells) == {("gzip", "base")}
 
-    def test_corrupt_middle_line_raises(self, tmp_path):
+    def test_corrupt_middle_line_quarantined(self, tmp_path):
         path = tmp_path / "run.jsonl"
         with RunStore(path) as store:
             store.start(MANIFEST)
@@ -122,27 +122,34 @@ class TestCorruption:
             fh.write("not json at all\n")
             fh.write(json.dumps({"kind": "cell", "workload": "g", "config": "c",
                                  "status": "ok"}) + "\n")
-        with pytest.raises(StoreError, match=":2"):
-            RunStore(path).load()
+        report = RunStore(path).load_report()
+        assert [issue.lineno for issue in report.quarantined] == [2]
+        assert set(report.cells) == {("g", "c")}  # survivors still served
+        assert "quarantined" in report.summary()
 
-    def test_unknown_record_kind_raises(self, tmp_path):
+    def test_unknown_record_kind_quarantined(self, tmp_path):
         path = tmp_path / "run.jsonl"
         with RunStore(path) as store:
             store.start(MANIFEST)
             store.record_result("gzip", "base", make_result(), attempts=1, elapsed=0.1)
         with open(path, "a", encoding="utf-8") as fh:
             fh.write(json.dumps({"kind": "mystery"}) + "\n")
-            fh.write(json.dumps({"kind": "manifest"}) + "\n")  # not the last line
-        with pytest.raises(StoreError, match="mystery"):
-            RunStore(path).load()
+            fh.write(json.dumps({"kind": "cell", "workload": "g", "config": "c",
+                                 "status": "ok"}) + "\n")
+        report = RunStore(path).load_report()
+        assert len(report.quarantined) == 1
+        assert "mystery" in report.quarantined[0].reason
+        assert set(report.cells) == {("gzip", "base"), ("g", "c")}
 
-    def test_cell_before_manifest_raises(self, tmp_path):
+    def test_cell_before_manifest_quarantined(self, tmp_path):
         path = tmp_path / "run.jsonl"
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps({"kind": "cell", "workload": "g", "config": "c"}) + "\n")
             fh.write(json.dumps({"kind": "manifest", "version": STORE_VERSION}) + "\n")
-        with pytest.raises(StoreError, match="before any manifest"):
-            RunStore(path).load()
+        report = RunStore(path).load_report()
+        assert len(report.quarantined) == 1
+        assert "before any manifest" in report.quarantined[0].reason
+        assert report.manifest is not None
 
     def test_unsupported_version_raises(self, tmp_path):
         path = tmp_path / "run.jsonl"
@@ -156,3 +163,92 @@ class TestCorruption:
         store = RunStore(tmp_path / "run.jsonl")
         with pytest.raises(StoreError, match="not open"):
             store.record_failure(CellFailure("g", "c", "E", "m", "", 1))
+
+
+class TestRepair:
+    def test_repair_quarantines_and_compacts(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        result = make_result()
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            store.record_failure(CellFailure("gzip", "base", "RuntimeError", "x", "", 1))
+            store.record_result("gzip", "base", result, attempts=2, elapsed=0.1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("garbage line\n")
+            fh.write(json.dumps({"kind": "cell", "workload": "g", "config": "c",
+                                 "status": "ok"}) + "\n")
+            fh.write('{"kind": "cell", "work')  # torn tail
+        store = RunStore(path)
+        report = store.repair()
+        # pre-repair view: 1 garbage + 1 superseded duplicate + torn tail
+        assert len(report.quarantined) == 1
+        assert len(report.superseded) == 1
+        assert report.torn_tail is not None
+        # post-repair: clean, compacted, every survivor intact
+        clean = store.load_report()
+        assert clean.clean
+        assert not clean.superseded
+        assert set(clean.cells) == {("gzip", "base"), ("g", "c")}
+        assert clean.cells[("gzip", "base")]["status"] == "ok"
+        # the sidecar preserves every removed line
+        with open(store.quarantine_path, "r", encoding="utf-8") as fh:
+            sidecar = [json.loads(line) for line in fh]
+        assert len(sidecar) == 3
+        assert all({"lineno", "reason", "raw"} <= set(rec) for rec in sidecar)
+        assert any("superseded" in rec["reason"] for rec in sidecar)
+
+    def test_repair_refused_while_open(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            with pytest.raises(StoreError, match="open for appending"):
+                store.repair()
+
+    def test_start_auto_repairs_torn_tail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            store.record_result("gzip", "base", make_result(), attempts=1, elapsed=0.1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "cell", "workload": "gzip", "config')  # crash mid-append
+        with RunStore(path) as store:
+            cells = store.start(MANIFEST, resume=True)
+            assert set(cells) == {("gzip", "base")}
+            # the next append must not concatenate onto the tear
+            store.record_result("gzip", "perfect", make_result(), attempts=1,
+                                elapsed=0.1)
+        report = RunStore(path).load_report()
+        assert report.clean
+        assert set(report.cells) == {("gzip", "base"), ("gzip", "perfect")}
+
+
+class TestLocking:
+    def test_second_writer_rejected(self, tmp_path):
+        from repro.common.errors import StoreLockedError
+
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            with pytest.raises(StoreLockedError, match="another writer"):
+                RunStore(path).start(MANIFEST, resume=True)
+
+    def test_lock_released_on_close(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+        with RunStore(path) as store:
+            store.start(MANIFEST, resume=True)  # no raise
+
+    def test_start_is_reentrant_per_instance(self, tmp_path):
+        # run_paper calls start() once per figure group on one instance.
+        path = tmp_path / "run.jsonl"
+        with RunStore(path) as store:
+            store.start(MANIFEST)
+            store.record_result("gzip", "base", make_result(), attempts=1,
+                                elapsed=0.1)
+            cells = store.start(MANIFEST, resume=True)
+            assert set(cells) == {("gzip", "base")}
+            store.record_result("gzip", "perfect", make_result(), attempts=1,
+                                elapsed=0.1)
+        _, cells = RunStore(path).load()
+        assert set(cells) == {("gzip", "base"), ("gzip", "perfect")}
