@@ -21,6 +21,20 @@ def test_perf_simulator_throughput(benchmark):
     assert result.accesses == 20_000
 
 
+def test_perf_simulator_throughput_scalar(benchmark):
+    """The forced-scalar loop — the fallback path every non-batchable
+    configuration (prefetch, victim, decay) still runs through."""
+    trace = build_workload("gcc", length=20_000)
+
+    def run():
+        return MemorySimulator(ipa=6.0, collect_metrics=True).run(
+            trace, engine="scalar"
+        )
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.accesses == 20_000
+
+
 def test_perf_simulator_with_prefetch(benchmark):
     trace = build_workload("swim", length=20_000)
 

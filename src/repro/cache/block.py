@@ -70,6 +70,49 @@ class Frame:
         #: True if a prefetched resident has been demand-referenced.
         self.prefetch_used = False
 
+    @classmethod
+    def restore(
+        cls,
+        set_index: int,
+        way: int,
+        frame_key: int,
+        valid: bool,
+        tag: int,
+        block_addr: int,
+        dirty: bool,
+        lru_stamp: int,
+        fill_time: int,
+        last_access_time: int,
+        hit_count: int,
+        lt_register: int,
+        prev_tag: int,
+        prefetched: bool = False,
+        prefetch_used: bool = False,
+    ) -> "Frame":
+        """Build a frame with every field set in one call.
+
+        The batch engine reconstructs final cache contents from column
+        data instead of replaying per-access mutations; this constructor
+        exists so that reconstruction writes each slot exactly once.
+        """
+        frame = cls.__new__(cls)
+        frame.set_index = set_index
+        frame.way = way
+        frame.frame_key = frame_key
+        frame.valid = valid
+        frame.tag = tag
+        frame.block_addr = block_addr
+        frame.dirty = dirty
+        frame.lru_stamp = lru_stamp
+        frame.fill_time = fill_time
+        frame.last_access_time = last_access_time
+        frame.hit_count = hit_count
+        frame.lt_register = lt_register
+        frame.prev_tag = prev_tag
+        frame.prefetched = prefetched
+        frame.prefetch_used = prefetch_used
+        return frame
+
     def live_time(self) -> int:
         """Live time of the resident generation as defined by the paper.
 

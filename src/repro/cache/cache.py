@@ -64,6 +64,9 @@ class SetAssociativeCache:
         self._valid_counts: List[int] = [0] * self.num_sets
         #: Monotone counter driving LRU stamps.
         self._clock = 0
+        #: Pending lazily-installed contents (see :meth:`defer_contents`);
+        #: None in normal operation.
+        self._deferred = None
         #: Policy flag hoisted out of the touch() hot path.
         self._stamps_on_hit = self.policy.stamps_on_hit
         # Aggregate counters (mechanism-level; outcome-level stats live
@@ -93,6 +96,8 @@ class SetAssociativeCache:
 
         Does not update replacement state; pair with :meth:`touch`.
         """
+        if self._deferred is not None:
+            self._thaw()
         return self._tags.get(block_addr)
 
     def touch(self, frame: Frame, now: int, *, store: bool = False) -> None:
@@ -110,6 +115,8 @@ class SetAssociativeCache:
         delegates to the policy.  Full sets (the steady state) skip the
         invalid-frame scan via the per-set valid count.
         """
+        if self._deferred is not None:
+            self._thaw()
         set_index = block_addr & self._set_mask
         frames = self._sets[set_index]
         if frames is None:
@@ -154,6 +161,8 @@ class SetAssociativeCache:
     def access(self, block_addr: int, now: int, *, store: bool = False,
                lru_insert: bool = False) -> bool:
         """Convenience probe+touch / choose+fill; returns True on hit."""
+        if self._deferred is not None:
+            self._thaw()
         frame = self._tags.get(block_addr)
         if frame is not None:
             self.touch(frame, now, store=store)
@@ -164,6 +173,8 @@ class SetAssociativeCache:
 
     def invalidate(self, block_addr: int) -> Optional[Frame]:
         """Remove *block_addr* if resident; return its frame."""
+        if self._deferred is not None:
+            self._thaw()
         frame = self._tags.get(block_addr)
         if frame is not None:
             self.invalidate_frame(frame)
@@ -182,6 +193,44 @@ class SetAssociativeCache:
             frame.valid = False
             frame.block_addr = -1
 
+    # -- deferred contents (batch engine) ------------------------------------
+
+    def defer_contents(self, installer) -> None:
+        """Schedule *installer* to rebuild this cache's contents lazily.
+
+        The batch engine tracks large caches (the L2) through lean
+        per-set structures instead of :class:`Frame` objects; at the end
+        of a batched run it hands the cache an installer that can
+        reconstruct the exact frame state, and the cache runs it on the
+        first content access (``probe``/``choose_victim``/``access``/
+        ``invalidate``/``frames``/``set_frames``).  Until then ``_tags``
+        and ``_sets`` hold the *pre-batch* state, so direct field access
+        must either go through the public methods or consume the pending
+        installer via :meth:`deferred_contents` first.  Aggregate
+        counters (hits/misses/evictions, ``_clock``) are not deferred —
+        callers update those eagerly.
+
+        *installer* is called as ``installer(cache)`` and must leave the
+        ``_sets``/``_tags``/``_valid_counts`` views mutually consistent.
+        """
+        self._deferred = installer
+
+    def deferred_contents(self):
+        """Pop and return the pending contents installer, or None.
+
+        A follow-up batched run (the warm-up boundary) consumes the
+        installer's lean state directly instead of paying for frame
+        reconstruction; after this call the caller owns the state and
+        the cache no longer thaws.
+        """
+        installer, self._deferred = self._deferred, None
+        return installer
+
+    def _thaw(self) -> None:
+        """Run the pending contents installer (idempotent)."""
+        installer, self._deferred = self._deferred, None
+        installer(self)
+
     # -- introspection -------------------------------------------------------
 
     def _materialize_set(self, set_index: int) -> List[Frame]:
@@ -196,11 +245,15 @@ class SetAssociativeCache:
 
     def frames(self) -> Iterator[Frame]:
         """Iterate all frames (valid and invalid)."""
+        if self._deferred is not None:
+            self._thaw()
         for set_index in range(self.num_sets):
             yield from self._materialize_set(set_index)
 
     def set_frames(self, set_index: int) -> List[Frame]:
         """Frames of one set (the actual list; treat as read-only)."""
+        if self._deferred is not None:
+            self._thaw()
         return self._materialize_set(set_index)
 
     def resident_blocks(self) -> Iterator[int]:

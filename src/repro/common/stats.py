@@ -13,6 +13,14 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence
 
+import numpy as np
+
+#: Largest integer a binary64 float represents exactly; running sums at
+#: or below this bound are identical whether accumulated one value at a
+#: time or in bulk, which is what lets :meth:`Histogram.add_many` be
+#: bitwise-equivalent to a loop of :meth:`Histogram.add` calls.
+_EXACT_FLOAT_INT = 2 ** 53
+
 
 class Histogram:
     """Fixed-bin-width histogram with an overflow bin (paper-figure style).
@@ -62,6 +70,41 @@ class Histogram:
         """Record every value in *values*."""
         for value in values:
             self.add(value)
+
+    def add_many(self, values) -> None:
+        """Record a batch of non-negative integer durations at once.
+
+        Bitwise-equivalent to calling :meth:`add` on each value in
+        order: counts are integers (always exact), and the float
+        running sum of non-negative integers is exact as long as it
+        stays at or below 2**53 — in that regime the bulk sum and the
+        sequential sum are the same binary64 value.  When the bulk sum
+        would leave the exact-integer range, the sum falls back to
+        sequential accumulation so partial-sum rounding matches the
+        scalar path.  *values* is any sequence accepted by
+        ``np.asarray`` (the batch engine passes int64 arrays).
+        """
+        arr = np.asarray(values)
+        if not np.issubdtype(arr.dtype, np.integer):
+            raise ValueError("add_many records integer durations; use add() for floats")
+        arr = arr.astype(np.int64, copy=False)
+        if arr.size == 0:
+            return
+        if arr.min() < 0:
+            raise ValueError("histogram values must be non-negative")
+        idx = np.minimum(arr // self.bin_width, self.num_bins)
+        binned = np.bincount(idx, minlength=self.num_bins + 1)
+        counts = self.counts
+        for i in np.flatnonzero(binned[: self.num_bins]).tolist():
+            counts[i] += int(binned[i])
+        self.overflow += int(binned[self.num_bins])
+        self.total += arr.size
+        bulk = int(arr.sum(dtype=np.int64))
+        if self._sum + bulk <= _EXACT_FLOAT_INT and self._sum == int(self._sum):
+            self._sum += bulk
+        else:  # pragma: no cover - exercised only by astronomical sums
+            for value in arr.tolist():
+                self._sum += value
 
     def fractions(self) -> List[float]:
         """Per-bin fractions including the overflow bin (sums to 1)."""

@@ -130,7 +130,8 @@ class GenerationTracker:
         "_on_generation",
         "_keep",
         "records",
-        "_last_gen",
+        "_last_gen_map",
+        "_pending_closed",
         "_open_last",
         "_open_max",
         "closed_generations",
@@ -147,7 +148,11 @@ class GenerationTracker:
         self.records: List[GenerationRecord] = []
         #: block_addr -> closed record of the block's previous tenancy
         #: (exposes the start/live_time/dead_time trio callers read).
-        self._last_gen: Dict[int, GenerationRecord] = {}
+        #: Backing store of the :attr:`_last_gen` property; batch-queued
+        #: column tuples waiting to be folded in live in
+        #: ``_pending_closed`` until someone reads per-block history.
+        self._last_gen_map: Dict[int, GenerationRecord] = {}
+        self._pending_closed: List[tuple] = []
         #: Open-generation state, split into parallel int-valued dicts
         #: so the per-hit update allocates nothing (no tuple per access);
         #: frame id is any hashable the caller uses.
@@ -175,7 +180,9 @@ class GenerationTracker:
         """
         self._open_last[frame_id] = now
         self._open_max[frame_id] = 0
-        last = self._last_gen.get(block_addr)
+        if self._pending_closed:
+            self._flush_closed()
+        last = self._last_gen_map.get(block_addr)
         if last is None:
             return None
         return now - last.start
@@ -211,7 +218,9 @@ class GenerationTracker:
         """
         self._open_last.pop(frame_id, None)
         max_interval = self._open_max.pop(frame_id, 0)
-        last_gen = self._last_gen
+        if self._pending_closed:
+            self._flush_closed()
+        last_gen = self._last_gen_map
         prev = last_gen.get(block_addr)
         record = GenerationRecord(
             block_addr,
@@ -230,6 +239,52 @@ class GenerationTracker:
             self.records.append(record)
         return record
 
+    def absorb_closed(self, columns: tuple) -> None:
+        """Fold a batch of closed generations, given as columns, into the books.
+
+        The batch engine knows every record field from column math and
+        delivers the metric effects in bulk itself, so this method
+        deliberately does **not** invoke the per-record
+        ``on_generation`` callback — it only counts the generations and
+        queues *columns* (the 7-tuple of parallel plain-int lists
+        ``(block_addr, start, live_time, dead_time, hit_count,
+        max_access_interval, prev_live_time)``, in eviction order) for
+        the per-block history.  :class:`GenerationRecord` objects are
+        only built when someone reads that history (the next batch's
+        correlation pass, a scalar fill/evict, or a direct
+        ``last_generation`` query) — a run nobody inspects further
+        never pays for them.  Last record per block wins, matching
+        sequential :meth:`on_evict` order.  Open-generation state
+        (``_open_last`` / ``_open_max``) is owned by the caller at
+        batch granularity and is written back separately.
+        """
+        self.closed_generations += len(columns[0])
+        if self._keep:
+            if self._pending_closed:
+                self._flush_closed()
+            records = list(map(GenerationRecord, *columns))
+            self._last_gen_map.update(zip(columns[0], records))
+            self.records.extend(records)
+        else:
+            self._pending_closed.append(columns)
+
+    def _flush_closed(self) -> None:
+        """Materialize queued closed-generation columns into the map."""
+        pending = self._pending_closed
+        last_gen = self._last_gen_map
+        for columns in pending:
+            last_gen.update(
+                zip(columns[0], map(GenerationRecord, *columns))
+            )
+        pending.clear()
+
+    @property
+    def _last_gen(self) -> Dict[int, GenerationRecord]:
+        """The per-block history map, with pending batches folded in."""
+        if self._pending_closed:
+            self._flush_closed()
+        return self._last_gen_map
+
     # -- miss-time queries (Section 4 correlations) ---------------------------
 
     def last_generation(self, block_addr: int) -> Optional[GenerationRecord]:
@@ -240,9 +295,11 @@ class GenerationTracker:
         (via ``now - start``) the reload interval the paper's conflict
         predictors consume.
         """
-        return self._last_gen.get(block_addr)
+        if self._pending_closed:
+            self._flush_closed()
+        return self._last_gen_map.get(block_addr)
 
     def reload_interval_at(self, block_addr: int, now: int) -> Optional[int]:
         """Reload interval if the block were refetched at *now*."""
-        last = self._last_gen.get(block_addr)
+        last = self.last_generation(block_addr)
         return None if last is None else now - last.start

@@ -31,6 +31,9 @@ TIME_BIN = 100
 RELOAD_BIN = 1000
 NUM_BINS = 100
 
+#: int value -> member, for materializing batched correlation columns.
+_MISS_CLASS_BY_VALUE = {int(m): m for m in MissClass}
+
 
 class MissCorrelation:
     """A non-cold miss joined with its block's previous generation.
@@ -83,13 +86,22 @@ class TimekeepingMetrics:
             MissClass.CONFLICT: Histogram(TIME_BIN, NUM_BINS),
             MissClass.CAPACITY: Histogram(TIME_BIN, NUM_BINS),
         }
-        #: Raw per-miss correlation records for threshold sweeps.
-        self.miss_correlations: List[MissCorrelation] = []
-        #: (prev_live_time, live_time) per generation that has history.
-        self.live_time_pairs: List[Tuple[int, int]] = []
-        #: Closed generations (live, dead, max_access_interval, prev_live).
+        #: Raw per-miss correlation records for threshold sweeps
+        #: (read via the :attr:`miss_correlations` property).
+        self._miss_correlations: List[MissCorrelation] = []
+        #: Correlation columns queued by bulk_correlations, materialized
+        #: into records on first miss_correlations read.
+        self._pending_correlations: List[tuple] = []
+        #: (prev_live_time, live_time) per generation that has history
+        #: (read via the :attr:`live_time_pairs` property).
+        self._live_time_pairs: List[Tuple[int, int]] = []
+        #: Closed generations (read via the :attr:`generations`
+        #: property when *keep_generations*).
         self._keep_generations = keep_generations
-        self.generations: List[GenerationRecord] = []
+        self._generations: List[GenerationRecord] = []
+        #: Generation columns queued by bulk_generations, materialized
+        #: into records/pairs on first read of either property.
+        self._pending_generations: List[tuple] = []
         self.zero_live_generations = 0
         self.total_generations = 0
 
@@ -104,6 +116,10 @@ class TimekeepingMetrics:
         are non-negative by construction, so the range check of
         ``Histogram.add`` is not needed here.
         """
+        if self._pending_generations:
+            # A batched run queued columns earlier in this simulation;
+            # materialize them first so list order stays eviction order.
+            self._flush_generations()
         self.total_generations += 1
         lt = record.live_time
         dt = record.dead_time
@@ -126,9 +142,9 @@ class TimekeepingMetrics:
         if lt == 0:
             self.zero_live_generations += 1
         if record.prev_live_time is not None:
-            self.live_time_pairs.append((record.prev_live_time, lt))
+            self._live_time_pairs.append((record.prev_live_time, lt))
         if self._keep_generations:
-            self.generations.append(record)
+            self._generations.append(record)
 
     def on_access_interval(self, interval: int) -> None:
         """Consume one within-live-time access interval."""
@@ -150,6 +166,123 @@ class TimekeepingMetrics:
         self.miss_correlations.append(
             MissCorrelation(miss_class, reload_interval, last_dead_time, last_live_time)
         )
+
+    def bulk_generations(self, live_times, dead_times, columns) -> None:
+        """Consume a batch of closed generations at once.
+
+        Equivalent to calling :meth:`on_generation` per generation in
+        order: histogram counts are commutative integers, and the float
+        running sums go through :meth:`Histogram.add_many` (bitwise-
+        identical to sequential adds within binary64's exact-integer
+        range).  *live_times* and *dead_times* are int arrays in
+        eviction order; *columns* is the full 7-tuple of parallel
+        plain-int column lists ``(block_addr, start, live_time,
+        dead_time, hit_count, max_access_interval, prev_live_time)``.
+        The per-row :class:`GenerationRecord` objects and live-time
+        pairs are *not* built here — the columns are queued and
+        materialized the first time :attr:`generations` or
+        :attr:`live_time_pairs` is read, which only figure pipelines,
+        serialization, and tests do, never the simulation hot path.
+        """
+        import numpy as np
+
+        live_arr = np.asarray(live_times, dtype=np.int64)
+        self.total_generations += len(columns[0])
+        self.live_time.add_many(live_arr)
+        self.dead_time.add_many(dead_times)
+        self.zero_live_generations += int((live_arr == 0).sum())
+        self._pending_generations.append(columns)
+
+    def _flush_generations(self) -> None:
+        """Materialize queued generation columns into records/pairs."""
+        pending = self._pending_generations
+        gens = self._generations
+        pairs = self._live_time_pairs
+        keep = self._keep_generations
+        for columns in pending:
+            if keep:
+                gens.extend(map(GenerationRecord, *columns))
+            pairs.extend(
+                (prev, lt)
+                for prev, lt in zip(columns[6], columns[2])
+                if prev is not None
+            )
+        pending.clear()
+
+    def bulk_correlations(
+        self, classes, reload_intervals, dead_times, live_times
+    ) -> None:
+        """Consume a batch of non-cold miss correlations at once.
+
+        Equivalent to :meth:`on_miss_correlation` per row in miss order:
+        the arguments are parallel columns (``classes`` as
+        :class:`MissClass` int values) feeding the split histograms in
+        bulk.  The per-row :class:`MissCorrelation` objects are *not*
+        built here — the columns are queued and materialized the first
+        time :attr:`miss_correlations` is read, which only figure
+        pipelines and serialization do, never the simulation hot path.
+        """
+        import numpy as np
+
+        cls_arr = np.asarray(classes, dtype=np.int64)
+        reload_arr = np.asarray(reload_intervals, dtype=np.int64)
+        dead_arr = np.asarray(dead_times, dtype=np.int64)
+        live_arr = np.asarray(live_times, dtype=np.int64)
+        self.reload_interval.add_many(reload_arr)
+        for miss_class in (MissClass.CONFLICT, MissClass.CAPACITY):
+            mask = cls_arr == int(miss_class)
+            if mask.any():
+                self.reload_by_class[miss_class].add_many(reload_arr[mask])
+                self.dead_by_class[miss_class].add_many(dead_arr[mask])
+                self.live_by_class[miss_class].add_many(live_arr[mask])
+        self._pending_correlations.append(
+            (classes, reload_intervals, dead_times, live_times)
+        )
+
+    @property
+    def miss_correlations(self) -> List[MissCorrelation]:
+        """Raw per-miss correlation records, in miss order.
+
+        Batched columns queued by :meth:`bulk_correlations` are
+        materialized into :class:`MissCorrelation` objects on first
+        read; scalar-path records land in the backing list directly.
+        """
+        pending = self._pending_correlations
+        if pending:
+            out = self._miss_correlations
+            for classes, reload_intervals, dead_times, live_times in pending:
+                out.extend(map(
+                    MissCorrelation,
+                    map(_MISS_CLASS_BY_VALUE.__getitem__, classes),
+                    reload_intervals,
+                    dead_times,
+                    live_times,
+                ))
+            pending.clear()
+        return self._miss_correlations
+
+    @property
+    def generations(self) -> List[GenerationRecord]:
+        """Closed :class:`GenerationRecord` list, in eviction order.
+
+        Batched columns queued by :meth:`bulk_generations` are
+        materialized on first read; scalar-path records land in the
+        backing list directly.  Empty when ``keep_generations=False``.
+        """
+        if self._pending_generations:
+            self._flush_generations()
+        return self._generations
+
+    @property
+    def live_time_pairs(self) -> List[Tuple[int, int]]:
+        """(prev_live_time, live_time) pairs, in eviction order.
+
+        Shares the queued-column materialization with
+        :attr:`generations`.
+        """
+        if self._pending_generations:
+            self._flush_generations()
+        return self._live_time_pairs
 
     # -- derived views ---------------------------------------------------------
 
@@ -236,14 +369,14 @@ class TimekeepingMetrics:
             MissClass[k]: Histogram.from_dict(h)
             for k, h in data["live_by_class"].items()
         }
-        out.miss_correlations = [
+        out._miss_correlations = [
             MissCorrelation(MissClass[kind], reload_iv, dead, live)
             for kind, reload_iv, dead, live in data["miss_correlations"]
         ]
-        out.live_time_pairs = [
+        out._live_time_pairs = [
             (prev, cur) for prev, cur in data["live_time_pairs"]
         ]
-        out.generations = [
+        out._generations = [
             GenerationRecord(addr, start, live, dead, hits, max_iv, prev_live)
             for addr, start, live, dead, hits, max_iv, prev_live
             in data["generations"]

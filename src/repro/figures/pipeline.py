@@ -157,6 +157,7 @@ def run_paper(
     progress: Any = None,
     fault_hook: Optional[FaultHook] = None,
     write_report: bool = True,
+    engine: str = "batch",
 ) -> PaperRun:
     """Reproduce the paper's evaluation end to end.
 
@@ -187,6 +188,10 @@ def run_paper(
         fault_hook: test/chaos hook run in the worker before each cell.
         write_report: set False to skip writing ``REPRODUCTION.md``
             (the rendered text is still returned).
+        engine: dispatch engine for every cell (``"batch"`` with
+            automatic scalar fallback, or ``"scalar"``).  Results, the
+            store, and the report are bitwise-identical either way —
+            the CI smoke leg runs both to prove it.
 
     Returns:
         A :class:`PaperRun` with per-figure artifacts and verdicts.
@@ -234,6 +239,7 @@ def run_paper(
                 fault_hook=fault_hook,
                 telemetry=True,
                 store_metrics=True,
+                engine=engine,
             )
             executed += report.executed
             replayed += report.replayed

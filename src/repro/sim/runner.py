@@ -107,6 +107,11 @@ class CellSpec:
     #: Trace-cache root (str — picklable across spawn), or None to
     #: synthesize in the worker.
     trace_cache: Optional[str] = None
+    #: Dispatch engine ("batch" with automatic scalar fallback, or
+    #: "scalar").  Kept outside ``config`` so the config digest — and
+    #: with it checkpoint-store identity — is engine-independent, as
+    #: results are bitwise-identical between engines.
+    engine: str = "batch"
 
     @property
     def key(self) -> CellKey:
@@ -299,6 +304,7 @@ def _execute_cell(
         kwargs = dict(spec.config)
         kwargs.setdefault("ipa", workload.ipa)
         kwargs.setdefault("warmup", spec.warmup)
+        kwargs.setdefault("engine", spec.engine)
         if spec.machine is not None:
             kwargs.setdefault("machine", spec.machine)
         return simulate(trace, **kwargs)  # type: ignore[arg-type]
@@ -332,6 +338,7 @@ def _execute_cell(
             kwargs = dict(spec.config)
             kwargs.setdefault("ipa", workload.ipa)
             kwargs.setdefault("warmup", spec.warmup)
+            kwargs.setdefault("engine", spec.engine)
             if spec.machine is not None:
                 kwargs.setdefault("machine", spec.machine)
             with timed("simulate"):
@@ -843,6 +850,7 @@ def run_sweep(
     observer: Optional[SweepObserver] = None,
     telemetry: Optional[bool] = None,
     store_metrics: bool = False,
+    engine: str = "batch",
 ) -> SweepReport:
     """Run a workload×config sweep fault-tolerantly.
 
@@ -915,6 +923,12 @@ def run_sweep(
             default because metric banks dominate the record size; the
             ``repro paper`` pipeline turns it on so every figure can be
             derived from the store alone.
+        engine: dispatch engine for every cell — ``"batch"`` (default,
+            with automatic scalar fallback per cell) or ``"scalar"``.
+            A cell's own config may override via an ``"engine"`` key.
+            Engine choice does not enter the store's config digests:
+            results are bitwise-identical between engines, so stores
+            written under either engine resume interchangeably.
 
     Returns:
         A :class:`SweepReport`; failed cells appear in ``report.failures``
@@ -981,6 +995,7 @@ def run_sweep(
             warmup=resolved_warmup,
             machine=machine,
             trace_cache=cache_root,
+            engine=engine,
         )
         for name in names
         for config_name, config in configs.items()

@@ -51,14 +51,33 @@ from ..core.victim import AdmissionFilter, make_admission_filter
 from ..timing.events import EventQueue
 from ..timing.processor import TimingModel
 from ..traces.trace import Trace
+from .batch import batch_fallback_reason, consume_batch
 from .results import PrefetchStats, SimulationResult, VictimStats
 
 _FIRE = 0
 _ARRIVE = 1
 
+#: Engines :meth:`MemorySimulator.run` accepts.
+ENGINES = ("batch", "scalar")
+
 
 class MemorySimulator:
-    """One configured machine instance, run once over one trace."""
+    """One configured machine instance, run once over one trace.
+
+    Accounting note (``perfect_non_cold``): a non-cold miss in perfect
+    mode is *charged* as an L1 hit — zero latency, counted as a hit in
+    both the outcome tally and the ``l1.hits``/``l1.misses`` mechanism
+    counters — while cache state still evolves as if it missed (the
+    old generation closes, the block is refilled).  One visible
+    consequence: ``l1.evictions`` can exceed ``l1.misses`` in perfect
+    mode, because charged misses still evict.
+    """
+
+    #: Whether the batch-dispatch engine understands this class's
+    #: semantics.  Subclasses that override behavior (e.g. the
+    #: reference model in tools/equivalence.py) must set this False so
+    #: engine dispatch falls back to their scalar loop.
+    _batch_capable = True
 
     def __init__(
         self,
@@ -121,6 +140,9 @@ class MemorySimulator:
         self._prefetch_useful = 0
         self._prefetch_scheduled = 0
         self._prefetch_fired = 0
+        # Engine bookkeeping, filled in by run().
+        self.engine_used: Optional[str] = None
+        self.batch_fallback: Optional[str] = None
         # Misc counters.
         self.now = 0
         self._outcomes = {outcome: 0 for outcome in AccessOutcome}
@@ -288,7 +310,8 @@ class MemorySimulator:
 
     # -- main loop -------------------------------------------------------------------
 
-    def run(self, trace: Trace, *, warmup: int = 0) -> SimulationResult:
+    def run(self, trace: Trace, *, warmup: int = 0,
+            engine: str = "batch") -> SimulationResult:
         """Simulate *trace* and return the result (one-shot per instance).
 
         Args:
@@ -296,11 +319,26 @@ class MemorySimulator:
                 only; statistics are reset after them, so the result
                 reflects the remaining accesses against warm caches and
                 predictor tables.
+            engine: ``"batch"`` (default) uses the vectorized
+                batch-dispatch engine when the configuration and trace
+                allow it, falling back to the scalar loop otherwise
+                (the reason is recorded in :attr:`batch_fallback`);
+                ``"scalar"`` forces the per-access loop.  Both engines
+                produce bitwise-identical results.
         """
         if self._finished:
             raise SimulationError("MemorySimulator instances are single-use; create a new one")
         if warmup < 0:
             raise SimulationError(f"warmup must be non-negative, got {warmup}")
+        if engine not in ENGINES:
+            raise SimulationError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        use_batch = False
+        if engine == "batch":
+            self.batch_fallback = batch_fallback_reason(self, trace)
+            use_batch = self.batch_fallback is None
+        self.engine_used = "batch" if use_batch else "scalar"
         # Throughput sampling: two clock reads around the whole run when
         # an ambient Telemetry is active, nothing otherwise.  It never
         # touches simulator state, so results are bitwise-identical with
@@ -308,7 +346,6 @@ class MemorySimulator:
         # both ways).
         telemetry = _telemetry_current()
         run_started = _perf_counter() if telemetry.enabled else 0.0
-        rows = trace.rows()
         # The run allocates heavily (generation records, fetch results,
         # event tuples) but creates no reference cycles, so generational
         # GC passes only add pauses; suspend collection for the run and
@@ -317,11 +354,20 @@ class MemorySimulator:
         if gc_was_enabled:
             _gc.disable()
         try:
-            if warmup:
-                warmup = min(warmup, len(trace))
-                self._consume(_islice(rows, warmup))
-                self._reset_stats()
-            self._consume(rows)
+            if use_batch:
+                length = len(trace)
+                warmup = min(warmup, length)
+                if warmup:
+                    consume_batch(self, trace, 0, warmup)
+                    self._reset_stats()
+                consume_batch(self, trace, warmup, length)
+            else:
+                rows = trace.rows()
+                if warmup:
+                    warmup = min(warmup, len(trace))
+                    self._consume(_islice(rows, warmup))
+                    self._reset_stats()
+                self._consume(rows)
         finally:
             if gc_was_enabled:
                 _gc.enable()
@@ -427,6 +473,7 @@ class MemorySimulator:
         n_memory = 0
         n_useful = 0
         n_writebacks = 0
+        n_perfect = 0
 
         try:
             for address, pc, kind, gap in rows:
@@ -438,6 +485,11 @@ class MemorySimulator:
                     # (victim-insert swaps); pick up the advanced clock.
                     now = self.now
                 elif policy is not None and len(prefetch_queue):
+                    # Not a starvation hazard on drain turns: the elif
+                    # is safe because _drain_events itself ends with an
+                    # _issue_prefetches pass, so queued prefetches get
+                    # an issue opportunity on every access either way
+                    # (locked in by test_drain_turn_issues_prefetches).
                     self._issue_prefetches()
                 n_accesses += 1
                 block = address >> offset_bits
@@ -535,7 +587,11 @@ class MemorySimulator:
 
                 # Latency source.
                 if perfect_non_cold and miss_class != cold:
-                    n_l1_hits += 1  # charged as a hit
+                    # Charged as an L1 hit across the board (outcome
+                    # tally *and* mechanism counters; see the class
+                    # docstring) — state still takes the fill path.
+                    n_l1_hits += 1
+                    n_perfect += 1
                     latency = 0
                 else:
                     if vc_probe is not None and vc_probe(block):
@@ -628,8 +684,8 @@ class MemorySimulator:
             timing.compute_cycles += total_gap
             timing._accesses += n_accesses
             timing.stall_cycles += n_stall
-            l1.hits += n_touch
-            l1.misses += n_misses
+            l1.hits += n_touch + n_perfect
+            l1.misses += n_misses - n_perfect
             l1.evictions += n_evictions
             self.writebacks += n_writebacks
             self._accesses += n_accesses
@@ -708,6 +764,7 @@ def simulate(
     prefetch_policy: Optional[PrefetchPolicy] = None,
     warmup: int = 0,
     decay_interval: Optional[int] = None,
+    engine: str = "batch",
 ) -> SimulationResult:
     """Convenience one-call simulation.
 
@@ -715,7 +772,9 @@ def simulate(
     'stride'); pass *prefetch_policy* instead for a custom or
     specially-configured policy object.  *warmup* leading accesses are
     simulated for state only (statistics reset afterwards), mirroring
-    the paper's skipping of the first billion instructions.
+    the paper's skipping of the first billion instructions.  *engine*
+    selects the dispatch engine ('batch' with automatic scalar
+    fallback, or 'scalar'); results are engine-independent.
     """
     machine = machine if machine is not None else paper_machine()
     if prefetcher is not None and prefetch_policy is not None:
@@ -733,7 +792,7 @@ def simulate(
         perfect_non_cold=perfect_non_cold,
         decay=DecayPolicy(decay_interval) if decay_interval is not None else None,
     )
-    return simulator.run(trace, warmup=warmup)
+    return simulator.run(trace, warmup=warmup, engine=engine)
 
 
 def make_prefetch_policy(name: str, machine: MachineConfig) -> PrefetchPolicy:

@@ -34,6 +34,7 @@ def run_workload(
     machine: Optional[MachineConfig] = None,
     warmup: Optional[int] = None,
     trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = False,
+    engine: str = "batch",
 ) -> Dict[str, SimulationResult]:
     """Run one SPEC2000 stand-in under every named configuration.
 
@@ -43,7 +44,10 @@ def run_workload(
     warm remainder, as in the paper's skip-then-measure methodology).
     *trace_cache* optionally serves the trace from (and persists it to)
     a content-addressed cache — ``True`` for the default root, a path or
-    :class:`TraceCache` for a specific one.
+    :class:`TraceCache` for a specific one.  *engine* selects the
+    dispatch engine for every configuration (``"batch"`` with automatic
+    scalar fallback, or ``"scalar"``; results are engine-independent);
+    a configuration's own ``"engine"`` key wins over it.
     """
     spec = get_workload(name)
     if warmup is None:
@@ -58,6 +62,7 @@ def run_workload(
         kwargs = dict(config)
         kwargs.setdefault("ipa", spec.ipa)
         kwargs.setdefault("warmup", warmup)
+        kwargs.setdefault("engine", engine)
         if machine is not None:
             kwargs.setdefault("machine", machine)
         results[config_name] = simulate(trace, **kwargs)  # type: ignore[arg-type]
@@ -82,6 +87,7 @@ def run_suite(
     resume: bool = False,
     retry_poisoned: bool = False,
     trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = True,
+    engine: str = "batch",
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run many workloads under many configurations.
 
@@ -109,6 +115,11 @@ def run_suite(
     worker processes, retries, and repeated sweeps; pass ``False`` to
     re-synthesize per workload as before.
 
+    ``engine`` selects the dispatch engine for every cell (``"batch"``
+    with automatic scalar fallback, or ``"scalar"``); results are
+    bitwise-identical between engines, so it never changes what a sweep
+    computes — only how fast.
+
     On the delegated path every remaining cell still completes when
     some cells fail, and the failures are raised *at the end* as one
     :class:`SimulationError` (after checkpointing).  Use ``run_sweep``
@@ -126,7 +137,7 @@ def run_suite(
                 progress(name)
             out[name] = run_workload(
                 name, configs, length=length, seed=seed, machine=machine,
-                warmup=warmup, trace_cache=trace_cache,
+                warmup=warmup, trace_cache=trace_cache, engine=engine,
             )
         return out
 
@@ -158,6 +169,7 @@ def run_suite(
         resume=resume,
         retry_poisoned=retry_poisoned,
         trace_cache=trace_cache,
+        engine=engine,
     )
     report.raise_on_failure()
     return report.results

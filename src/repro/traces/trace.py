@@ -199,6 +199,27 @@ class Trace:
             name=joined_name,
         )
 
+    def scan_columns(
+        self, start: int = 0, stop: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy (addresses, kinds, gaps) views of rows [start:stop).
+
+        The batch-dispatch engine scans run boundaries over columns
+        rather than rows; this helper hands it the three columns it
+        consumes as array views (PCs are not needed — no batch-capable
+        configuration reads them).  Only array-backed traces support
+        column scans; list-backed traces raise :class:`TraceError` and
+        the simulator falls back to the scalar row loop.
+        """
+        if not self.columns_are_arrays:
+            raise TraceError(
+                f"trace {self.name!r} is list-backed; column scans need array columns"
+            )
+        if start < 0 or (stop is not None and stop < start):
+            raise TraceError(f"invalid scan range [{start}:{stop}]")
+        sl = slice(start, stop)
+        return self.addresses[sl], self.kinds[sl], self.gaps[sl]
+
     def to_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         """Export columns as numpy arrays (addresses, pcs, kinds, gaps).
 

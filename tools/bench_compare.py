@@ -1,7 +1,8 @@
 """Diff fresh benchmark runs against the committed ``BENCH_*.json`` baselines.
 
-Re-measures the probes those files record — simulator throughput and
-prefetch-path throughput from ``BENCH_hotpath.json``, vectorized
+Re-measures the probes those files record — simulator throughput under
+both dispatch engines (batch and forced-scalar) and prefetch-path
+throughput from ``BENCH_hotpath.json``, vectorized
 100k-access trace synthesis per workload from ``BENCH_tracecache.json``
 — and fails (exit 1) when any probe regresses past the threshold
 (default 25% slower than the committed min).
@@ -63,16 +64,27 @@ class Probe:
         return best * 1e3
 
 
-def _probe_throughput() -> None:
+def _probe_throughput(engine: str) -> Callable[[], Any]:
+    # The trace is built outside the timed body to match what the
+    # pytest benchmark (and hence the committed baseline) measures:
+    # run() alone, not synthesis + run.
     trace = build_workload("gcc", length=20_000)
-    result = MemorySimulator(ipa=6.0, collect_metrics=True).run(trace)
-    assert result.accesses == 20_000
+
+    def fn() -> None:
+        sim = MemorySimulator(ipa=6.0, collect_metrics=True)
+        result = sim.run(trace, engine=engine)
+        assert result.accesses == 20_000
+        assert sim.engine_used == engine
+    return fn
 
 
-def _probe_prefetch() -> None:
+def _probe_prefetch() -> Callable[[], Any]:
     trace = build_workload("swim", length=20_000)
-    result = simulate(trace, ipa=3.0, prefetcher="timekeeping")
-    assert result.prefetch.issued > 0
+
+    def fn() -> None:
+        result = simulate(trace, ipa=3.0, prefetcher="timekeeping")
+        assert result.prefetch.issued > 0
+    return fn
 
 
 def _probe_synthesis(workload: str) -> Callable[[], Any]:
@@ -84,12 +96,15 @@ def _probe_synthesis(workload: str) -> Callable[[], Any]:
 
 def default_probes() -> List[Probe]:
     probes = [
-        Probe("simulator_throughput", "BENCH_hotpath.json",
+        Probe("simulator_throughput.batch", "BENCH_hotpath.json",
               "results.test_perf_simulator_throughput.after_ms.min",
-              _probe_throughput),
+              _probe_throughput("batch")),
+        Probe("simulator_throughput.scalar", "BENCH_hotpath.json",
+              "results.test_perf_simulator_throughput_scalar.after_ms.min",
+              _probe_throughput("scalar")),
         Probe("simulator_with_prefetch", "BENCH_hotpath.json",
               "results.test_perf_simulator_with_prefetch.after_ms.min",
-              _probe_prefetch),
+              _probe_prefetch()),
     ]
     for name in SYNTH_WORKLOADS:
         probes.append(

@@ -15,8 +15,15 @@ MSHRs, buses, policies, bookkeeping): the point is to diff the
 *restructured* layers against their plain originals, not to re-derive
 the whole machine.  It also includes the behavioral bugfixes that
 landed with the hot-path overhaul (stale-clock fills after evictions
-that stall the core, stale prefetch-arrival MSHR releases), so a
-mismatch always means the optimized path drifted.
+that stall the core, stale prefetch-arrival MSHR releases, charged
+``perfect_non_cold`` misses double-counted in the L1 hit/miss
+counters), so a mismatch always means the optimized path drifted.
+
+Each cell is a three-way comparison: the production simulator under
+the batch engine, the production simulator under the scalar engine,
+and the reference — all pairs must be bitwise-identical.  Cells cover
+warmup > 0 and perfect-mode configurations in addition to the
+mechanism axes (victim cache, prefetch, decay).
 
 Run directly::
 
@@ -51,7 +58,27 @@ CONFIGS: Dict[str, Dict[str, Any]] = {
     "victim": {"victim_filter": "timekeeping"},
     "prefetch": {"prefetcher": "timekeeping"},
     "decay": {"decay_interval": 8192},
+    # ``warmup_frac`` is harness-level, not a simulator kwarg: the cell
+    # runs with warmup = int(length * frac) extra accesses, exercising
+    # the batch engine's deferred-state chaining across run() calls.
+    "warmup": {"warmup_frac": 0.33},
+    "perfect": {"perfect_non_cold": True},
+    "perfect_warmup": {"perfect_non_cold": True, "warmup_frac": 0.33},
 }
+
+#: Per-cell simulator runs: label, simulator class, dispatch engine.
+#: The reference is asked for the batch engine precisely so its
+#: ``_batch_capable = False`` opt-out (not the caller) forces the
+#: scalar path — a reference that silently ran vectorized would be
+#: testing the batch engine against itself.
+RUNS = (
+    ("batch", None, "batch"),
+    ("scalar", None, "scalar"),
+    ("reference", "reference", "batch"),
+)
+
+#: Label pairs diffed within each cell.
+PAIRS = (("batch", "reference"), ("scalar", "reference"), ("batch", "scalar"))
 
 DEFAULT_WORKLOADS = ("gcc", "mcf", "swim", "art")
 
@@ -169,6 +196,12 @@ class ReferenceSimulator(MemorySimulator):
     semantics.
     """
 
+    #: The batch engine indexes the production tag store directly; this
+    #: subclass changes lookup behavior, so it must opt out (see
+    #: ``MemorySimulator._batch_capable``).  ``run(engine="batch")``
+    #: then records a fallback and takes the scalar loop above.
+    _batch_capable = False
+
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self.l1 = ReferenceCache(self.machine.l1d)
@@ -253,7 +286,12 @@ class ReferenceSimulator(MemorySimulator):
                     )
 
             if perfect_non_cold and miss_class != cold:
+                # Charged as an L1 hit in the outcome tally *and* the
+                # mechanism counters; the fill below still bumps
+                # l1.misses, so balance both counters here.
                 self._outcomes[AccessOutcome.L1_HIT] += 1
+                l1.hits += 1
+                l1.misses -= 1
                 latency = 0
             else:
                 if victim_cache is not None and victim_cache.probe(block):
@@ -347,31 +385,56 @@ def metrics_digest(sim: MemorySimulator) -> Optional[Dict[str, Any]]:
     }
 
 
-def run_pair(workload: str, length: int, config_name: str) -> Tuple[Dict, Dict]:
-    """Run fast and reference simulators on one (workload, config) cell.
+def run_cell(workload: str, length: int, config_name: str) -> Dict[str, Dict]:
+    """Run every simulator variant on one (workload, config) cell.
 
-    Returns the two comparable state dicts (result ``to_dict`` plus the
-    metrics digest).
+    Returns ``{label: comparable_dict}`` for the labels in :data:`RUNS`
+    — production/batch, production/scalar, and the reference — where
+    each comparable dict is the result ``to_dict`` plus the metrics
+    digest.  A ``warmup_frac`` entry in the config adds that fraction
+    of *length* as extra leading accesses consumed as warmup.
     """
-    config = CONFIGS[config_name]
-    trace = build_workload(workload, length=length)
-    out = []
-    for cls in (MemorySimulator, ReferenceSimulator):
+    config = dict(CONFIGS[config_name])
+    warmup = int(length * config.pop("warmup_frac", 0.0))
+    trace = build_workload(workload, length=length + warmup)
+    out: Dict[str, Dict] = {}
+    for label, which, engine in RUNS:
+        cls = ReferenceSimulator if which == "reference" else MemorySimulator
         sim = _build_simulator(cls, config)
-        result = sim.run(trace)
-        out.append({"result": result.to_dict(), "metrics": metrics_digest(sim)})
-    return out[0], out[1]
+        result = sim.run(trace, warmup=warmup, engine=engine)
+        if which == "reference" and sim.engine_used != "scalar":
+            raise AssertionError(
+                "reference simulator must opt out of the batch engine"
+            )
+        out[label] = {"result": result.to_dict(), "metrics": metrics_digest(sim)}
+    return out
 
 
-def _diff_keys(fast: Dict, ref: Dict, prefix: str = "") -> Iterator[str]:
+def run_pair(workload: str, length: int, config_name: str) -> Tuple[Dict, Dict]:
+    """Back-compat wrapper: the production/batch and reference dicts."""
+    cell = run_cell(workload, length, config_name)
+    return cell["batch"], cell["reference"]
+
+
+def _diff_keys(fast: Dict, ref: Dict, prefix: str = "",
+               labels: Tuple[str, str] = ("fast", "reference")) -> Iterator[str]:
     """Yield dotted paths where the two dicts differ."""
     for key in sorted(set(fast) | set(ref)):
         path = f"{prefix}{key}"
         a, b = fast.get(key), ref.get(key)
         if isinstance(a, dict) and isinstance(b, dict):
-            yield from _diff_keys(a, b, prefix=f"{path}.")
+            yield from _diff_keys(a, b, prefix=f"{path}.", labels=labels)
         elif a != b:
-            yield f"{path}: fast={a!r} reference={b!r}"
+            yield f"{path}: {labels[0]}={a!r} {labels[1]}={b!r}"
+
+
+def cell_diffs(cell: Dict[str, Dict]) -> List[str]:
+    """Diff lines across every label pair of one :func:`run_cell` output."""
+    lines: List[str] = []
+    for a, b in PAIRS:
+        for line in _diff_keys(cell[a], cell[b], labels=(a, b)):
+            lines.append(f"[{a} vs {b}] {line}")
+    return lines
 
 
 def iter_mismatches(
@@ -380,8 +443,7 @@ def iter_mismatches(
     """Yield (workload, config, diff-lines) for every mismatching cell."""
     for name in workloads:
         for config_name in config_names:
-            fast, ref = run_pair(name, length, config_name)
-            diffs = list(_diff_keys(fast, ref))
+            diffs = cell_diffs(run_cell(name, length, config_name))
             if diffs:
                 yield name, config_name, diffs
 
@@ -406,8 +468,7 @@ def main(argv=None) -> int:
     for name in workloads:
         for config_name in config_names:
             cells += 1
-            fast, ref = run_pair(name, args.length, config_name)
-            diffs = list(_diff_keys(fast, ref))
+            diffs = cell_diffs(run_cell(name, args.length, config_name))
             if diffs:
                 failures += 1
                 print(f"MISMATCH {name}/{config_name}:")
