@@ -1,7 +1,14 @@
-"""Reporting and figure-assembly helpers for the benchmark harness."""
+"""Reporting, figure-assembly, and analytical-model helpers."""
 
 from . import paper_targets
 from .report import bar_chart, distribution_rows, format_table, percent, stacked_bars
+from .reuse import (
+    compute_profile,
+    result_from_profile,
+    reuse_distance_histogram,
+    simulate_analytical,
+    stack_distances,
+)
 from .venn import VennSummary, classify_benchmarks
 
 __all__ = [
@@ -11,6 +18,11 @@ __all__ = [
     "format_table",
     "percent",
     "stacked_bars",
+    "compute_profile",
+    "result_from_profile",
+    "reuse_distance_histogram",
+    "simulate_analytical",
+    "stack_distances",
     "VennSummary",
     "classify_benchmarks",
 ]

@@ -45,11 +45,47 @@ class LRUStack:
         return len(self._stack)
 
     def distance_histogram(self, blocks) -> Dict[Optional[int], int]:
-        """Convenience: run a sequence and histogram the distances."""
-        hist: Dict[Optional[int], int] = {}
-        for block in blocks:
-            d = self.reference(block)
-            hist[d] = hist.get(d, 0) + 1
+        """Convenience: run a sequence and histogram the distances.
+
+        On a fresh stack the whole sequence goes through the vectorized
+        reuse-distance kernel (:func:`repro.analysis.reuse.stack_distances`)
+        instead of the O(n)-per-access scalar loop; a stack with prior
+        state falls back to :meth:`reference` so distances keep counting
+        blocks referenced before this call.  Both paths leave the stack
+        in the same final state and return the same histogram.
+        """
+        if self._stack:
+            hist: Dict[Optional[int], int] = {}
+            for block in blocks:
+                d = self.reference(block)
+                hist[d] = hist.get(d, 0) + 1
+            return hist
+
+        import numpy as np
+
+        from ..analysis.reuse import stack_distances
+
+        arr = np.ascontiguousarray(
+            blocks if isinstance(blocks, np.ndarray) else list(blocks),
+            dtype=np.int64,
+        )
+        if arr.size == 0:
+            return {}
+        distances = stack_distances(arr)
+        hist = {}
+        first_touches = int((distances < 0).sum())
+        if first_touches:
+            hist[None] = first_touches
+        reref = distances[distances >= 0]
+        if reref.size:
+            values, counts = np.unique(reref, return_counts=True)
+            for value, count in zip(values.tolist(), counts.tolist()):
+                hist[value] = count
+        # The scalar loop leaves the distinct blocks on the stack most
+        # recently referenced first; reproduce that from the tail in.
+        reversed_blocks = arr[::-1]
+        _, first_from_end = np.unique(reversed_blocks, return_index=True)
+        self._stack = reversed_blocks[np.sort(first_from_end)].tolist()
         return hist
 
 

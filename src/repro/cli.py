@@ -27,7 +27,7 @@ import argparse
 import os
 import sys
 from contextlib import nullcontext
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from .analysis.report import format_table, percent
 from .common.config import paper_machine
@@ -136,6 +136,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="append structured JSONL events (cell starts/"
                             "finishes, retries, cache events) to FILE")
     _add_engine_arg(sweep)
+    _add_fidelity_arg(sweep)
     _add_cache_args(sweep)
 
     paper = sub.add_parser(
@@ -180,6 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
     paper.add_argument("--progress", action="store_true",
                        help="live progress line on stderr")
     _add_engine_arg(paper)
+    _add_fidelity_arg(paper)
     _add_cache_args(paper)
 
     report = sub.add_parser(
@@ -232,6 +234,16 @@ def _add_engine_arg(sub: argparse.ArgumentParser) -> None:
         help="dispatch engine: 'batch' (vectorized, automatic scalar "
              "fallback for unsupported configs) or 'scalar' (per-access "
              "loop); results are bitwise-identical either way")
+
+
+def _add_fidelity_arg(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--fidelity", choices=["exact", "sampled", "analytical"],
+        default="exact",
+        help="fidelity tier: 'exact' (full simulation, default), "
+             "'sampled' (representative-interval extrapolation with "
+             "per-metric confidence intervals) or 'analytical' "
+             "(reuse-distance prediction, baseline configs only)")
 
 
 def _add_cache_root_arg(sub: argparse.ArgumentParser) -> None:
@@ -398,6 +410,7 @@ def _cmd_sweep(args, out) -> int:
             observer=observer,
             telemetry=telemetry,
             engine=args.engine,
+            fidelity=args.fidelity,
         )
     if args.trace_out:
         build_sweep_trace(report).write(args.trace_out)
@@ -473,6 +486,7 @@ def _cmd_paper(args, out) -> int:
         trace_cache=trace_cache,
         observer=observer,
         engine=args.engine,
+        fidelity=args.fidelity,
     )
     for artifact in run.artifacts:
         done = [c for c in artifact.checks if c.passed is not None]
@@ -494,6 +508,40 @@ def _cmd_paper(args, out) -> int:
 
 def _format_seconds(seconds) -> str:
     return f"{seconds:.3f}s" if seconds is not None else "-"
+
+
+def _print_fidelity_summary(manifest, ok_cells, out) -> None:
+    """Per-fidelity cell counts and worst-case error bars for a store.
+
+    Silent for plain exact stores (nothing to report); a store holding
+    cheap-tier results shows how many cells each tier produced and the
+    widest 95% confidence interval per sampled metric, so a reader can
+    judge whether the extrapolation is trustworthy at a glance.
+    """
+    counts: Dict[str, int] = {}
+    worst: Dict[str, Dict[str, object]] = {}
+    for (workload, config), rec in sorted(ok_cells.items()):
+        result = rec.get("result") or {}
+        tier = result.get("fidelity", "exact")
+        counts[tier] = counts.get(tier, 0) + 1
+        for metric, stats in (result.get("error_bars") or {}).items():
+            if not isinstance(stats, dict) or "ci95" not in stats:
+                continue
+            if metric not in worst or stats["ci95"] > worst[metric]["ci95"]:
+                worst[metric] = {"ci95": stats["ci95"],
+                                 "cell": f"{workload}:{config}"}
+    if not counts or counts == {"exact": len(ok_cells)}:
+        return
+    breakdown = ", ".join(f"{n} {tier}" for tier, n in sorted(counts.items()))
+    line = f"fidelity: {breakdown}"
+    if manifest.get("fidelity") and manifest.get("sampling"):
+        plan = manifest["sampling"]
+        line += (f" ({plan.get('windows')} windows x "
+                 f"{plan.get('window_length')} accesses)")
+    print(line, file=out)
+    for metric, info in sorted(worst.items()):
+        print(f"  worst {metric} 95% CI: ±{info['ci95']:.5f} ({info['cell']})",
+              file=out)
 
 
 def _print_quarantine_summary(load, store, out) -> None:
@@ -550,6 +598,7 @@ def _cmd_report(args, out) -> int:
                            rows, title=f"store: {args.store}"), file=out)
         print(f"{len(cells)} cells: {len(ok)} ok, {len(failed)} failed, "
               f"{retried} retried", file=out)
+        _print_fidelity_summary(manifest, ok, out)
         _print_quarantine_summary(load, store, out)
         return 0
 

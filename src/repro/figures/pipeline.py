@@ -158,6 +158,7 @@ def run_paper(
     fault_hook: Optional[FaultHook] = None,
     write_report: bool = True,
     engine: str = "batch",
+    fidelity: str = "exact",
 ) -> PaperRun:
     """Reproduce the paper's evaluation end to end.
 
@@ -192,6 +193,13 @@ def run_paper(
             automatic scalar fallback, or ``"scalar"``).  Results, the
             store, and the report are bitwise-identical either way —
             the CI smoke leg runs both to prove it.
+        fidelity: fidelity tier for every cell (``"exact"`` default;
+            see :func:`repro.sim.runner.run_sweep`).  ``"sampled"``
+            trades exactness for speed on every figure; shape checks
+            calibrated against exact results may legitimately FAIL on
+            extrapolated numbers.  ``"analytical"`` supports only
+            baseline configurations — victim/prefetch/decay figures
+            record per-cell failures under it.
 
     Returns:
         A :class:`PaperRun` with per-figure artifacts and verdicts.
@@ -240,6 +248,7 @@ def run_paper(
                 telemetry=True,
                 store_metrics=True,
                 engine=engine,
+                fidelity=fidelity,
             )
             executed += report.executed
             replayed += report.replayed

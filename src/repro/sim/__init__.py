@@ -1,12 +1,19 @@
 """Simulation driver: the memory simulator, results, and suite sweeps."""
 
-from .results import PrefetchStats, SimulationResult, VictimStats
+from .results import FIDELITIES, PrefetchStats, SimulationResult, VictimStats
 from .runner import CellFailure, CellSpec, SweepReport, run_sweep
+from .sampling import (
+    SamplingPlan,
+    make_sampling_plan,
+    simulate_sampled,
+    simulate_with_fidelity,
+)
 from .simulator import MemorySimulator, make_prefetch_policy, simulate
 from .store import RunStore
 from .sweep import run_suite, run_workload, speedups
 
 __all__ = [
+    "FIDELITIES",
     "PrefetchStats",
     "SimulationResult",
     "VictimStats",
@@ -14,6 +21,10 @@ __all__ = [
     "CellSpec",
     "SweepReport",
     "run_sweep",
+    "SamplingPlan",
+    "make_sampling_plan",
+    "simulate_sampled",
+    "simulate_with_fidelity",
     "MemorySimulator",
     "make_prefetch_policy",
     "simulate",

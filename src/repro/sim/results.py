@@ -16,6 +16,12 @@ from ..timing.processor import TimingResult
 #: Serialization schema version written by :meth:`SimulationResult.to_dict`.
 RESULT_SCHEMA_VERSION = 1
 
+#: The fidelity tiers a result can carry, cheapest last.  ``exact`` runs
+#: the full simulator; ``sampled`` extrapolates from representative
+#: intervals (``repro.sim.sampling``); ``analytical`` predicts from
+#: reuse-distance histograms (``repro.analysis.reuse``).
+FIDELITIES = ("exact", "sampled", "analytical")
+
 
 @dataclass
 class VictimStats:
@@ -90,6 +96,14 @@ class SimulationResult:
     memory_accesses: int = 0
     decay: Optional[DecayStats] = None
     writebacks: int = 0
+    #: Which tier produced this result ("exact", "sampled" or
+    #: "analytical").  Exact results neither set nor serialize the
+    #: field, so pre-fidelity stores and byte-level comparisons of
+    #: exact runs are unaffected.
+    fidelity: str = "exact"
+    #: Per-metric uncertainty attached by the sampled tier (confidence
+    #: intervals over the measured windows); None for exact/analytical.
+    error_bars: Optional[Dict[str, Any]] = None
 
     @property
     def ipc(self) -> float:
@@ -179,6 +193,13 @@ class SimulationResult:
             "prefetch": None if self.prefetch is None else _prefetch_to_dict(self.prefetch),
             "decay": None if self.decay is None else asdict(self.decay),
         }
+        # Emitted only for cheap tiers: exact results must serialize
+        # byte-identically to pre-fidelity builds (the paper pipeline's
+        # warm-resume report comparison depends on it).
+        if self.fidelity != "exact":
+            out["fidelity"] = self.fidelity
+        if self.error_bars is not None:
+            out["error_bars"] = self.error_bars
         if include_metrics and self.metrics is not None:
             out["metrics"] = self.metrics.to_dict()
         return out
@@ -227,6 +248,8 @@ class SimulationResult:
                 memory_accesses=data.get("memory_accesses", 0),
                 decay=_optional(DecayStats, data.get("decay")),
                 writebacks=data.get("writebacks", 0),
+                fidelity=data.get("fidelity", "exact"),
+                error_bars=data.get("error_bars"),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise SimulationError(f"malformed serialized result: {exc!r}") from exc

@@ -112,6 +112,10 @@ class CellSpec:
     #: with it checkpoint-store identity — is engine-independent, as
     #: results are bitwise-identical between engines.
     engine: str = "batch"
+    #: Fidelity tier ("exact", "sampled" or "analytical").  Unlike
+    #: ``engine`` this *does* change results, so it enters the sweep
+    #: manifest (stores refuse to resume across tiers).
+    fidelity: str = "exact"
 
     @property
     def key(self) -> CellKey:
@@ -221,6 +225,46 @@ class SweepReport:
         """Cells that needed more than one attempt (completed or failed)."""
         return sum(1 for n in self.attempts.values() if n > 1)
 
+    def fidelity_counts(self) -> Dict[str, int]:
+        """Completed-cell count per fidelity tier, in tier order.
+
+        A mixed-fidelity store (e.g. an exact campaign resumed next to a
+        sampled scouting run read through one report) is legible at a
+        glance; a plain exact sweep returns ``{"exact": N}``.
+        """
+        counts: Dict[str, int] = {}
+        for configs in self.results.values():
+            for result in configs.values():
+                tier = getattr(result, "fidelity", "exact")
+                counts[tier] = counts.get(tier, 0) + 1
+        return counts
+
+    def worst_error_bars(self) -> Dict[str, Dict[str, Any]]:
+        """Largest 95% confidence half-width per metric across all cells.
+
+        Scans every completed result carrying ``error_bars`` (the
+        sampled tier) and keeps, per metric, the cell with the widest
+        interval: ``{metric: {"ci95", "mean", "workload", "config"}}``.
+        Empty for sweeps with no sampled cells.
+        """
+        worst: Dict[str, Dict[str, Any]] = {}
+        for workload, configs in self.results.items():
+            for config_name, result in configs.items():
+                error_bars = getattr(result, "error_bars", None)
+                if not error_bars:
+                    continue
+                for metric, stats in error_bars.items():
+                    if not isinstance(stats, Mapping) or "ci95" not in stats:
+                        continue
+                    if metric not in worst or stats["ci95"] > worst[metric]["ci95"]:
+                        worst[metric] = {
+                            "ci95": stats["ci95"],
+                            "mean": stats.get("mean", 0.0),
+                            "workload": workload,
+                            "config": config_name,
+                        }
+        return worst
+
     def summary(self) -> str:
         """One-line human digest, shared by the CLI, logs, and tests."""
         total = self.ok_cells + len(self.failures)
@@ -232,6 +276,18 @@ class SweepReport:
         )
         if self.poisoned:
             text += f", {self.poisoned} poisoned cell(s) quarantined"
+        counts = self.fidelity_counts()
+        if counts and counts != {"exact": self.ok_cells}:
+            text += ", fidelity " + "+".join(
+                f"{n} {tier}" for tier, n in sorted(counts.items())
+            )
+            worst = self.worst_error_bars()
+            if "l1_miss_rate" in worst:
+                w = worst["l1_miss_rate"]
+                text += (
+                    f", worst miss-rate CI ±{w['ci95']:.4f} "
+                    f"({w['workload']}:{w['config']})"
+                )
         if self.aborted:
             text += f" [ABORTED: {self.abort_reason}]"
         return text
@@ -293,6 +349,7 @@ def _execute_cell(
     workload = get_workload(spec.workload)
     total = spec.length + spec.warmup
     if cell_telemetry is None:
+        cache = None
         if spec.trace_cache is not None:
             cache = TraceCache(root=spec.trace_cache)
             trace = cache.get_or_build(spec.workload, total, spec.seed)
@@ -307,7 +364,7 @@ def _execute_cell(
         kwargs.setdefault("engine", spec.engine)
         if spec.machine is not None:
             kwargs.setdefault("machine", spec.machine)
-        return simulate(trace, **kwargs)  # type: ignore[arg-type]
+        return _simulate_spec(spec, trace, kwargs, cache)
 
     phases = cell_telemetry.setdefault("phases", {})
 
@@ -326,6 +383,7 @@ def _execute_cell(
 
     with Telemetry() as tele:
         try:
+            cache = None
             with timed("synthesis"):
                 if spec.trace_cache is not None:
                     cache = TraceCache(root=spec.trace_cache)
@@ -342,7 +400,7 @@ def _execute_cell(
             if spec.machine is not None:
                 kwargs.setdefault("machine", spec.machine)
             with timed("simulate"):
-                result = simulate(trace, **kwargs)  # type: ignore[arg-type]
+                result = _simulate_spec(spec, trace, kwargs, cache)
             with timed("serialize"):
                 result.to_dict()
         finally:
@@ -351,6 +409,25 @@ def _execute_cell(
             cell_telemetry["gauges"] = snapshot["gauges"]
             cell_telemetry["timers"] = snapshot["timers"]
     return result
+
+
+def _simulate_spec(spec: CellSpec, trace, kwargs: Dict[str, Any], cache) -> SimulationResult:
+    """Run one cell's trace at the spec's fidelity tier.
+
+    Exact cells call :func:`simulate` directly — the pre-fidelity code
+    path, byte-for-byte.  Cheap tiers go through
+    :func:`~repro.sim.sampling.simulate_with_fidelity`, with the sweep
+    seed driving the sampled tier's interval selection and the trace
+    cache serving the analytical tier's reuse profiles.
+    """
+    if spec.fidelity == "exact":
+        return simulate(trace, **kwargs)  # type: ignore[arg-type]
+    from .sampling import simulate_with_fidelity
+
+    return simulate_with_fidelity(
+        trace, spec.fidelity, seed=spec.seed, cache=cache,
+        workload=spec.workload, **kwargs,
+    )
 
 
 def _fire_mid_cell(spec: CellSpec, attempt: int) -> None:
@@ -851,6 +928,7 @@ def run_sweep(
     telemetry: Optional[bool] = None,
     store_metrics: bool = False,
     engine: str = "batch",
+    fidelity: str = "exact",
 ) -> SweepReport:
     """Run a workload×config sweep fault-tolerantly.
 
@@ -929,6 +1007,16 @@ def run_sweep(
             Engine choice does not enter the store's config digests:
             results are bitwise-identical between engines, so stores
             written under either engine resume interchangeably.
+        fidelity: fidelity tier for every cell — ``"exact"`` (default,
+            the full simulator), ``"sampled"`` (representative-interval
+            extrapolation with confidence intervals, ~10-20× faster) or
+            ``"analytical"`` (reuse-distance prediction, no per-access
+            loop).  Unlike *engine* this changes results, so it is
+            recorded in the store manifest (a store refuses to resume
+            under a different tier) along with the sampled tier's
+            deterministic window selection, which depends only on
+            (length, warmup, seed) and is therefore identical across
+            ``--resume`` and any worker count.
 
     Returns:
         A :class:`SweepReport`; failed cells appear in ``report.failures``
@@ -948,6 +1036,12 @@ def run_sweep(
         )
     if not configs:
         raise SimulationError("no configurations given")
+    from .results import FIDELITIES
+
+    if fidelity not in FIDELITIES:
+        raise SimulationError(
+            f"unknown fidelity {fidelity!r}; expected one of {FIDELITIES}"
+        )
     names = list(workloads) if workloads is not None else list(SPEC2000)
     for name in names:
         get_workload(name)  # fail fast on unknown workloads
@@ -996,6 +1090,7 @@ def run_sweep(
             machine=machine,
             trace_cache=cache_root,
             engine=engine,
+            fidelity=fidelity,
         )
         for name in names
         for config_name, config in configs.items()
@@ -1024,6 +1119,16 @@ def run_sweep(
                 "configs": {name: config_digest(config) for name, config in configs.items()},
                 "created": time.time(),
             }
+            if fidelity != "exact":
+                # Absent for exact sweeps so pre-fidelity stores stay
+                # byte-compatible (and resumable) under this build.
+                manifest["fidelity"] = fidelity
+            if fidelity == "sampled":
+                from .sampling import make_sampling_plan
+
+                manifest["sampling"] = make_sampling_plan(
+                    length + resolved_warmup, resolved_warmup, seed=seed,
+                ).to_manifest()
             prior = run_store.start(manifest, resume=resume)
             wanted = {cell.key for cell in cells}
             for key, record in prior.items():

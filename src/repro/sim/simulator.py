@@ -776,12 +776,46 @@ def simulate(
     selects the dispatch engine ('batch' with automatic scalar
     fallback, or 'scalar'); results are engine-independent.
     """
+    simulator = make_simulator(
+        machine,
+        ipa=ipa,
+        victim_filter=victim_filter,
+        victim_entries=victim_entries,
+        prefetcher=prefetcher,
+        prefetch_policy=prefetch_policy,
+        collect_metrics=collect_metrics,
+        classify=classify,
+        perfect_non_cold=perfect_non_cold,
+        decay_interval=decay_interval,
+    )
+    return simulator.run(trace, warmup=warmup, engine=engine)
+
+
+def make_simulator(
+    machine: Optional[MachineConfig] = None,
+    *,
+    ipa: float = 3.0,
+    victim_filter: Optional[str] = None,
+    victim_entries: int = 32,
+    prefetcher: Optional[str] = None,
+    prefetch_policy: Optional[PrefetchPolicy] = None,
+    collect_metrics: bool = False,
+    classify: bool = True,
+    perfect_non_cold: bool = False,
+    decay_interval: Optional[int] = None,
+) -> MemorySimulator:
+    """Build a :class:`MemorySimulator` from :func:`simulate`'s options.
+
+    Shared by :func:`simulate` and the sampled fidelity tier
+    (``repro.sim.sampling``), which drives the simulator window by
+    window instead of through :meth:`MemorySimulator.run`.
+    """
     machine = machine if machine is not None else paper_machine()
     if prefetcher is not None and prefetch_policy is not None:
         raise SimulationError("pass either prefetcher or prefetch_policy, not both")
     if prefetcher is not None:
         prefetch_policy = make_prefetch_policy(prefetcher, machine)
-    simulator = MemorySimulator(
+    return MemorySimulator(
         machine,
         ipa=ipa,
         victim_filter=victim_filter,
@@ -792,7 +826,6 @@ def simulate(
         perfect_non_cold=perfect_non_cold,
         decay=DecayPolicy(decay_interval) if decay_interval is not None else None,
     )
-    return simulator.run(trace, warmup=warmup, engine=engine)
 
 
 def make_prefetch_policy(name: str, machine: MachineConfig) -> PrefetchPolicy:

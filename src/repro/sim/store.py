@@ -551,6 +551,15 @@ def _check_compatible(
                 f"{field_name} was {prior.get(field_name)!r}, resuming run has "
                 f"{manifest.get(field_name)!r}"
             )
+    # Fidelity entered the manifest after v1 stores shipped; absence
+    # means exact, so pre-fidelity stores resume under exact sweeps.
+    if prior.get("fidelity", "exact") != manifest.get("fidelity", "exact"):
+        raise StoreError(
+            f"store {path} was written at fidelity "
+            f"{prior.get('fidelity', 'exact')!r}; resuming run wants "
+            f"{manifest.get('fidelity', 'exact')!r} — mixing tiers in one "
+            f"store would silently blend extrapolated and exact results"
+        )
     prior_configs = prior.get("configs", {})
     new_configs = manifest.get("configs", {})
     for name in sorted(set(prior_configs) & set(new_configs)):

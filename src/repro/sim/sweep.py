@@ -35,6 +35,7 @@ def run_workload(
     warmup: Optional[int] = None,
     trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = False,
     engine: str = "batch",
+    fidelity: str = "exact",
 ) -> Dict[str, SimulationResult]:
     """Run one SPEC2000 stand-in under every named configuration.
 
@@ -47,7 +48,12 @@ def run_workload(
     :class:`TraceCache` for a specific one.  *engine* selects the
     dispatch engine for every configuration (``"batch"`` with automatic
     scalar fallback, or ``"scalar"``; results are engine-independent);
-    a configuration's own ``"engine"`` key wins over it.
+    a configuration's own ``"engine"`` key wins over it.  *fidelity*
+    selects the tier every configuration runs at — ``"exact"``
+    (default), ``"sampled"`` (interval extrapolation with confidence
+    intervals, *seed* drives the deterministic window selection) or
+    ``"analytical"`` (reuse-distance prediction; warm profiles are
+    served from *trace_cache* when one is configured).
     """
     spec = get_workload(name)
     if warmup is None:
@@ -65,7 +71,15 @@ def run_workload(
         kwargs.setdefault("engine", engine)
         if machine is not None:
             kwargs.setdefault("machine", machine)
-        results[config_name] = simulate(trace, **kwargs)  # type: ignore[arg-type]
+        if fidelity == "exact":
+            results[config_name] = simulate(trace, **kwargs)  # type: ignore[arg-type]
+        else:
+            from .sampling import simulate_with_fidelity
+
+            results[config_name] = simulate_with_fidelity(
+                trace, fidelity, seed=seed, cache=cache, workload=name,
+                **kwargs,  # type: ignore[arg-type]
+            )
     return results
 
 
@@ -88,6 +102,7 @@ def run_suite(
     retry_poisoned: bool = False,
     trace_cache: Union[bool, str, "os.PathLike[str]", TraceCache, None] = True,
     engine: str = "batch",
+    fidelity: str = "exact",
 ) -> Dict[str, Dict[str, SimulationResult]]:
     """Run many workloads under many configurations.
 
@@ -120,6 +135,13 @@ def run_suite(
     bitwise-identical between engines, so it never changes what a sweep
     computes — only how fast.
 
+    ``fidelity`` selects the tier every cell runs at: ``"exact"``
+    (default), ``"sampled"`` or ``"analytical"`` — see
+    :func:`run_workload`.  Unlike ``engine``, the cheap tiers *do*
+    change results (they carry ``result.fidelity`` and, for sampled,
+    ``result.error_bars``), so checkpoint stores record the tier and
+    refuse to resume across tiers.
+
     On the delegated path every remaining cell still completes when
     some cells fail, and the failures are raised *at the end* as one
     :class:`SimulationError` (after checkpointing).  Use ``run_sweep``
@@ -138,6 +160,7 @@ def run_suite(
             out[name] = run_workload(
                 name, configs, length=length, seed=seed, machine=machine,
                 warmup=warmup, trace_cache=trace_cache, engine=engine,
+                fidelity=fidelity,
             )
         return out
 
@@ -170,6 +193,7 @@ def run_suite(
         retry_poisoned=retry_poisoned,
         trace_cache=trace_cache,
         engine=engine,
+        fidelity=fidelity,
     )
     report.raise_on_failure()
     return report.results

@@ -75,6 +75,48 @@ class TestBoundedLRU:
         assert len(c) == 3
 
 
+def _scalar_histogram(stack, blocks):
+    """The pre-vectorization distance_histogram, kept as the oracle."""
+    hist = {}
+    for block in blocks:
+        d = stack.reference(block)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+class TestVectorizedHistogramEquivalence:
+    @given(st.lists(st.integers(min_value=0, max_value=30),
+                    min_size=0, max_size=300))
+    def test_matches_scalar_on_fresh_stack(self, blocks):
+        vec = LRUStack()
+        ref = LRUStack()
+        assert vec.distance_histogram(blocks) == _scalar_histogram(ref, blocks)
+        # The vectorized path must leave the same final recency order,
+        # so later reference() calls keep working.
+        assert vec._stack == ref._stack
+
+    @given(st.lists(st.integers(min_value=0, max_value=10),
+                    min_size=1, max_size=50),
+           st.lists(st.integers(min_value=0, max_value=10),
+                    min_size=0, max_size=50))
+    def test_matches_scalar_on_resumed_stack(self, prefix, blocks):
+        # A non-empty stack forces the scalar fallback; results and
+        # state must still agree with the reference.
+        vec = LRUStack()
+        ref = LRUStack()
+        for b in prefix:
+            vec.reference(b)
+            ref.reference(b)
+        assert vec.distance_histogram(blocks) == _scalar_histogram(ref, blocks)
+        assert vec._stack == ref._stack
+
+    def test_accepts_numpy_input(self):
+        import numpy as np
+
+        blocks = np.array([1, 2, 1, 2, 1], dtype=np.int64)
+        assert LRUStack().distance_histogram(blocks) == {None: 2, 1: 3}
+
+
 @given(st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=200),
        st.integers(min_value=1, max_value=8))
 def test_bounded_lru_equals_stack_distance(blocks, capacity):

@@ -1,0 +1,104 @@
+"""Integration: the fidelity validation harness end to end.
+
+Runs ``tools/validate_fidelity.py``'s machinery (imported, not
+shelled) over a workload subset at smoke scale: every workload goes
+through all three tiers, the error columns are sane, and the
+BENCH_fidelity.json probe schema stays aligned with the probes
+``tools/bench_compare.py`` re-measures against it.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS_DIR = Path(__file__).resolve().parents[2] / "tools"
+if str(TOOLS_DIR) not in sys.path:
+    sys.path.insert(0, str(TOOLS_DIR))
+
+import bench_compare  # noqa: E402  (needs the sys.path insert above)
+import validate_fidelity  # noqa: E402
+
+WORKLOADS = ["gcc", "swim", "ammp"]
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    cache_root = tmp_path_factory.mktemp("fidelity_cache")
+    return validate_fidelity.run_validation(
+        workloads=WORKLOADS,
+        length=validate_fidelity.SMOKE_LENGTH,
+        seed=0,
+        smoke=True,
+        cache_root=str(cache_root),
+    )
+
+
+class TestValidationReport:
+    def test_every_workload_ran_all_tiers(self, report):
+        assert set(report["workloads"]) == set(WORKLOADS)
+        for row in report["workloads"].values():
+            for field in ("exact_ms", "sampled_ms", "analytical_cold_ms",
+                          "analytical_warm_ms"):
+                assert row[field] > 0.0
+            for field in ("exact_miss_rate", "sampled_miss_rate",
+                          "analytical_miss_rate"):
+                assert 0.0 <= row[field] <= 1.0
+
+    def test_smoke_error_gate_passes(self, report):
+        assert report["gates"]["sampled_error"] is True
+        assert report["passed"] is True
+        # Smoke runs never gate on timing — CI wall clocks are noise.
+        assert "sampled_speedup" not in report["gates"]
+
+    def test_errors_within_smoke_tolerance(self, report):
+        agg = report["aggregate"]
+        assert agg["sampled_tolerance"] == validate_fidelity.SMOKE_TOLERANCE
+        assert (agg["sampled_within_tolerance"] >=
+                len(WORKLOADS) - validate_fidelity.ALLOWED_OUTLIERS)
+
+    def test_analytical_error_reported_not_gated(self, report):
+        agg = report["aggregate"]
+        assert "analytical_worst_abs_err" in agg
+        assert not any(g.startswith("analytical_error")
+                       for g in report["gates"])
+
+    def test_sampled_ci_recorded(self, report):
+        for row in report["workloads"].values():
+            assert row["sampled_ci95_miss_rate"] >= 0.0
+
+    def test_report_is_json_serializable(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report), encoding="utf-8")
+        assert json.loads(path.read_text(encoding="utf-8")) == report
+
+
+class TestBenchSchema:
+    def test_probe_paths_align_with_bench_compare(self):
+        # The committed BENCH_fidelity.json must contain a min-ms
+        # number at every dotted path the fidelity probes look up.
+        fidelity_probes = [p for p in bench_compare.default_probes()
+                          if p.baseline_file == "BENCH_fidelity.json"]
+        assert len(fidelity_probes) == 2
+        probe_keys = validate_fidelity.measure_probes.__doc__  # sanity anchor
+        assert probe_keys is not None
+        tag = (f"{validate_fidelity.PROBE_WORKLOAD}_"
+               f"{validate_fidelity.PROBE_LENGTH // 1000}k")
+        expected = {f"probes.sampled_{tag}.min_ms",
+                    f"probes.analytical_{tag}.min_ms"}
+        assert {p.baseline_path for p in fidelity_probes} == expected
+
+    def test_committed_baseline_has_probe_paths(self):
+        baseline = Path(__file__).resolve().parents[2] / "BENCH_fidelity.json"
+        assert baseline.is_file(), "BENCH_fidelity.json must be committed"
+        payload = json.loads(baseline.read_text(encoding="utf-8"))
+        for probe in bench_compare.default_probes():
+            if probe.baseline_file != "BENCH_fidelity.json":
+                continue
+            value = bench_compare._dig(payload, probe.baseline_path)
+            assert isinstance(value, float) and value > 0.0, probe.baseline_path
+        # and the committed baseline was a passing full run
+        assert payload["passed"] is True
+        assert payload["smoke"] is False
+        assert payload["aggregate"]["workloads"] == 22

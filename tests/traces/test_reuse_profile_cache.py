@@ -1,0 +1,191 @@
+"""Tests for reuse-profile sidecars in the trace cache.
+
+Mirrors the trace-column integrity contract
+(``tests/traces/test_trace_cache.py``): a defective sidecar — flipped
+payload bytes, truncated ``.npz``, corrupt or mismatched json meta,
+stale profile version — is *never* served.  It reads as a miss and
+:meth:`get_or_build_reuse_profile` rebuilds it from the trace.
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.reuse import REUSE_PROFILE_VERSION, result_from_profile
+from repro.common.config import paper_machine
+from repro.traces.cache import TraceCache, reuse_profile_key, trace_key
+from repro.traces.workloads import build_workload
+
+WORKLOAD = "gzip"
+LENGTH = 3_000
+SEED = 4
+WARMUP = 1_000
+
+MACHINE = paper_machine()
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(root=tmp_path / "traces")
+
+
+def _paths(cache):
+    entry = cache.root / trace_key(WORKLOAD, LENGTH, SEED)
+    pkey = reuse_profile_key(WARMUP, MACHINE, REUSE_PROFILE_VERSION)
+    return entry / f"reuse_{pkey}.npz", entry / f"reuse_{pkey}.json"
+
+
+def _warm(cache):
+    profile = cache.get_or_build_reuse_profile(
+        WORKLOAD, LENGTH, SEED, warmup=WARMUP, machine=MACHINE)
+    npz_path, json_path = _paths(cache)
+    assert npz_path.is_file() and json_path.is_file()
+    return profile
+
+
+def _get(cache):
+    return cache.get_reuse_profile(
+        WORKLOAD, LENGTH, SEED, warmup=WARMUP, machine=MACHINE)
+
+
+def _assert_profiles_equal(a, b):
+    assert set(a) == set(b)
+    for name in a:
+        assert np.array_equal(np.asarray(a[name]), np.asarray(b[name])), name
+
+
+class TestBasics:
+    def test_miss_then_hit(self, cache):
+        assert _get(cache) is None
+        built = _warm(cache)
+        served = _get(cache)
+        assert served is not None
+        _assert_profiles_equal(built, served)
+
+    def test_served_profile_assembles_identical_result(self, cache):
+        built = _warm(cache)
+        served = _get(cache)
+        kwargs = dict(name=WORKLOAD, ipa=3.0, machine=MACHINE)
+        assert (result_from_profile(built, **kwargs).to_dict() ==
+                result_from_profile(served, **kwargs).to_dict())
+
+    def test_key_distinguishes_warmup_and_machine(self, cache):
+        _warm(cache)
+        assert cache.get_reuse_profile(
+            WORKLOAD, LENGTH, SEED, warmup=WARMUP + 1, machine=MACHINE) is None
+        other = dataclasses.replace(MACHINE, memory_latency=140)
+        assert cache.get_reuse_profile(
+            WORKLOAD, LENGTH, SEED, warmup=WARMUP, machine=other) is None
+
+    def test_build_with_explicit_trace_skips_trace_entry(self, cache):
+        # Passing the trace in means only the sidecars are written; the
+        # trace columns themselves are not persisted as a side effect.
+        trace = build_workload(WORKLOAD, length=LENGTH, seed=SEED)
+        cache.get_or_build_reuse_profile(
+            WORKLOAD, LENGTH, SEED, warmup=WARMUP, machine=MACHINE,
+            trace=trace)
+        assert _get(cache) is not None
+        assert cache.get(WORKLOAD, LENGTH, SEED) is None
+
+    def test_meta_of_trace_entry_untouched(self, cache):
+        # Sidecars live inside the trace entry dir but must not disturb
+        # the trace's own meta.json commit record.
+        cache.get_or_build(WORKLOAD, LENGTH, SEED)
+        meta_path = cache.root / trace_key(WORKLOAD, LENGTH, SEED) / "meta.json"
+        before = meta_path.read_bytes()
+        _warm(cache)
+        assert meta_path.read_bytes() == before
+        assert cache.get(WORKLOAD, LENGTH, SEED) is not None
+
+
+class TestIntegrity:
+    """Defective sidecars are detected, rebuilt, and never served."""
+
+    def _assert_rebuilds(self, cache, original):
+        before_misses = cache.misses
+        before_failures = cache.integrity_failures
+        assert _get(cache) is None
+        assert cache.misses == before_misses + 1
+        failures = cache.integrity_failures - before_failures
+        healed = cache.get_or_build_reuse_profile(
+            WORKLOAD, LENGTH, SEED, warmup=WARMUP, machine=MACHINE)
+        _assert_profiles_equal(healed, original)
+        assert _get(cache) is not None
+        return failures
+
+    def test_corrupted_npz_payload(self, cache):
+        original = _warm(cache)
+        npz_path, _ = _paths(cache)
+        data = bytearray(npz_path.read_bytes())
+        data[-1] ^= 0xFF
+        npz_path.write_bytes(bytes(data))
+        assert self._assert_rebuilds(cache, original) == 1
+
+    def test_truncated_npz(self, cache):
+        original = _warm(cache)
+        npz_path, _ = _paths(cache)
+        npz_path.write_bytes(npz_path.read_bytes()[:64])
+        assert self._assert_rebuilds(cache, original) == 1
+
+    def test_missing_npz_with_json_present(self, cache):
+        original = _warm(cache)
+        npz_path, _ = _paths(cache)
+        npz_path.unlink()
+        assert self._assert_rebuilds(cache, original) == 1
+
+    def test_corrupt_json_meta(self, cache):
+        original = _warm(cache)
+        _, json_path = _paths(cache)
+        json_path.write_text("{not json", encoding="utf-8")
+        assert self._assert_rebuilds(cache, original) == 1
+
+    def test_meta_recipe_mismatch(self, cache):
+        original = _warm(cache)
+        _, json_path = _paths(cache)
+        meta = json.loads(json_path.read_text(encoding="utf-8"))
+        meta["warmup"] = WARMUP + 7
+        json_path.write_text(json.dumps(meta), encoding="utf-8")
+        assert self._assert_rebuilds(cache, original) == 1
+
+    def test_stale_profile_version(self, cache):
+        original = _warm(cache)
+        _, json_path = _paths(cache)
+        meta = json.loads(json_path.read_text(encoding="utf-8"))
+        meta["profile_version"] = REUSE_PROFILE_VERSION - 1
+        json_path.write_text(json.dumps(meta), encoding="utf-8")
+        assert self._assert_rebuilds(cache, original) == 1
+
+    def test_missing_json_is_plain_miss(self, cache):
+        # No json sidecar = nothing was committed: a miss, but not an
+        # integrity failure (nothing claimed to be valid).
+        original = _warm(cache)
+        _, json_path = _paths(cache)
+        json_path.unlink()
+        assert self._assert_rebuilds(cache, original) == 0
+
+    def test_digest_skipped_when_verify_off(self, cache, tmp_path):
+        _warm(cache)
+        npz_path, _ = _paths(cache)
+        trusting = TraceCache(root=cache.root, verify=False)
+        # Still served (digest not checked) — matching the trace-column
+        # contract for trusted local roots.
+        assert trusting.get_reuse_profile(
+            WORKLOAD, LENGTH, SEED, warmup=WARMUP, machine=MACHINE) is not None
+
+
+class TestDegradation:
+    def test_unwritable_root_still_returns_profile(self, tmp_path):
+        root = tmp_path / "ro"
+        root.mkdir()
+        cache = TraceCache(root=root)
+        trace = build_workload(WORKLOAD, length=LENGTH, seed=SEED)
+        root.chmod(0o500)
+        try:
+            profile = cache.get_or_build_reuse_profile(
+                WORKLOAD, LENGTH, SEED, warmup=WARMUP, machine=MACHINE,
+                trace=trace)
+            assert int(profile["accesses"]) == LENGTH - WARMUP
+        finally:
+            root.chmod(0o700)

@@ -3,7 +3,8 @@
 Re-measures the probes those files record — simulator throughput under
 both dispatch engines (batch and forced-scalar) and prefetch-path
 throughput from ``BENCH_hotpath.json``, vectorized
-100k-access trace synthesis per workload from ``BENCH_tracecache.json``
+100k-access trace synthesis per workload from ``BENCH_tracecache.json``,
+sampled-tier and analytical-tier runtimes from ``BENCH_fidelity.json``
 — and fails (exit 1) when any probe regresses past the threshold
 (default 25% slower than the committed min).
 
@@ -94,6 +95,41 @@ def _probe_synthesis(workload: str) -> Callable[[], Any]:
     return fn
 
 
+# Probe scale shared with measure_probes() in tools/validate_fidelity.py
+# — the baseline writer and the regression checker must time the same
+# body or the comparison is meaningless.
+FIDELITY_PROBE_WORKLOAD = "gcc"
+FIDELITY_PROBE_LENGTH = 60_000
+
+
+def _probe_sampled() -> Callable[[], Any]:
+    from repro.sim.sampling import simulate_sampled
+
+    trace = build_workload(FIDELITY_PROBE_WORKLOAD,
+                           length=FIDELITY_PROBE_LENGTH)
+    warmup = FIDELITY_PROBE_LENGTH // 3
+
+    def fn() -> None:
+        result = simulate_sampled(trace, ipa=6.0, warmup=warmup, seed=0)
+        assert result.fidelity == "sampled"
+    return fn
+
+
+def _probe_analytical() -> Callable[[], Any]:
+    from repro.analysis.reuse import simulate_analytical
+
+    trace = build_workload(FIDELITY_PROBE_WORKLOAD,
+                           length=FIDELITY_PROBE_LENGTH)
+    warmup = FIDELITY_PROBE_LENGTH // 3
+
+    def fn() -> None:
+        # Cold (no cache): the deterministic cost of building the
+        # reuse profile plus assembling the result.
+        result = simulate_analytical(trace, ipa=6.0, warmup=warmup)
+        assert result.fidelity == "analytical"
+    return fn
+
+
 def default_probes() -> List[Probe]:
     probes = [
         Probe("simulator_throughput.batch", "BENCH_hotpath.json",
@@ -112,6 +148,11 @@ def default_probes() -> List[Probe]:
                   f"synthesis_100k.{name}.vectorized_ms.min_ms",
                   _probe_synthesis(name))
         )
+    tag = f"{FIDELITY_PROBE_WORKLOAD}_{FIDELITY_PROBE_LENGTH // 1000}k"
+    probes.append(Probe("fidelity.sampled", "BENCH_fidelity.json",
+                        f"probes.sampled_{tag}.min_ms", _probe_sampled()))
+    probes.append(Probe("fidelity.analytical", "BENCH_fidelity.json",
+                        f"probes.analytical_{tag}.min_ms", _probe_analytical()))
     return probes
 
 
