@@ -26,7 +26,8 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..common.config import MachineConfig
+from ..common.config import MachineConfig, config_digest, paper_machine
+from ..obs.history import append_best_effort, paper_run_record, resolve_history
 from ..obs.metrics import PHASES, aggregate_phases
 from ..sim.results import SimulationResult
 from ..sim.runner import FaultHook, run_sweep
@@ -159,6 +160,7 @@ def run_paper(
     write_report: bool = True,
     engine: str = "batch",
     fidelity: str = "exact",
+    obs_history: Any = None,
 ) -> PaperRun:
     """Reproduce the paper's evaluation end to end.
 
@@ -200,6 +202,13 @@ def run_paper(
             extrapolated numbers.  ``"analytical"`` supports only
             baseline configurations — victim/prefetch/decay figures
             record per-cell failures under it.
+        obs_history: cross-run history (path or
+            :class:`~repro.obs.history.ObsStore`) receiving **one**
+            aggregated record for the whole campaign under source
+            ``"paper"`` — the per-group sweeps are told not to append
+            their own, so a campaign is one trajectory point, not one
+            per figure group.  ``None`` consults ``REPRO_OBS_HISTORY``;
+            ``False`` disables.  Appends are best-effort.
 
     Returns:
         A :class:`PaperRun` with per-figure artifacts and verdicts.
@@ -222,6 +231,7 @@ def run_paper(
         groups = [(names, configs) for names, configs in groups if names]
 
     executed = replayed = failures = 0
+    group_reports = []
     store = RunStore(resolved_store)
     with store:
         first = True
@@ -249,10 +259,14 @@ def run_paper(
                 store_metrics=True,
                 engine=engine,
                 fidelity=fidelity,
+                # The campaign appends one aggregated record itself
+                # below; per-group appends would skew the trajectory.
+                obs_history=False,
             )
             executed += report.executed
             replayed += report.replayed
             failures += len(report.failures)
+            group_reports.append(report)
             first = False
 
         suite, stored_failures = load_suite(store)
@@ -272,6 +286,26 @@ def run_paper(
     if write_report:
         with open(report_path, "w", encoding="utf-8") as fh:
             fh.write(report_text)
+
+    history = resolve_history(obs_history)
+    if history is not None:
+        campaign_digest = config_digest({
+            "figures": sorted(spec.fig_id for spec in specs),
+            "length": resolved_length,
+            "seed": seed,
+            "warmup": resolved_warmup,
+            "machine": config_digest(
+                machine if machine is not None else paper_machine()),
+            "workloads": sorted(workloads) if workloads is not None else None,
+            "fidelity": fidelity,
+        })
+        warning = append_best_effort(
+            history,
+            paper_run_record(group_reports, manifest_digest=campaign_digest))
+        if warning is not None:
+            import sys
+
+            print(warning, file=sys.stderr)
 
     return PaperRun(
         artifacts=artifacts,

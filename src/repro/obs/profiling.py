@@ -1,0 +1,187 @@
+"""Deep per-worker profiling for sweep cells.
+
+``repro sweep --profile cpu|mem`` arms this module inside each worker,
+wrapping the simulate phase (the ``_consume``/``consume_batch`` hot
+loop) in either :mod:`cProfile` or :mod:`tracemalloc`.  Each cell
+ships a compact **top-N table** — plain dicts, picklable through the
+worker outcome tuples — back in its telemetry; the parent merges the
+tables site-by-site (:func:`merge_profiles`) into one sweep-wide view
+that is persisted with the run-history record and printed by the CLI.
+
+Raw profiler state (``pstats`` objects, tracemalloc snapshots) never
+crosses the process boundary: workers reduce to rows first, so a
+64-cell sweep costs 64 small lists, not 64 profile dumps.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import tracemalloc
+from typing import Any, Dict, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "PROFILE_MODES", "TOP_N", "profile_block", "merge_profiles",
+    "format_profile",
+]
+
+#: Supported ``--profile`` modes.
+PROFILE_MODES = ("cpu", "mem")
+
+#: Rows kept per table, both per-cell and after the parent-side merge.
+TOP_N = 20
+
+
+class _CpuProfile:
+    """Context manager arming :mod:`cProfile` around one phase."""
+
+    mode = "cpu"
+
+    def __init__(self) -> None:
+        self._profile = cProfile.Profile()
+
+    def __enter__(self) -> "_CpuProfile":
+        self._profile.enable()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._profile.disable()
+
+    def stats(self, top: int = TOP_N) -> Dict[str, Any]:
+        """Top-*top* call sites by cumulative time, as plain dicts."""
+        st = pstats.Stats(self._profile)
+        rows: List[Dict[str, Any]] = []
+        entries = sorted(st.stats.items(),  # type: ignore[attr-defined]
+                         key=lambda item: item[1][3], reverse=True)
+        for (filename, lineno, func), (cc, nc, tt, ct, _callers) in entries:
+            if filename.startswith("<") and func.startswith("<"):
+                continue
+            rows.append({
+                "site": f"{filename}:{lineno}:{func}",
+                "ncalls": int(nc),
+                "tottime_s": round(tt, 6),
+                "cumtime_s": round(ct, 6),
+            })
+            if len(rows) >= top:
+                break
+        return {"mode": self.mode, "top": rows}
+
+
+class _MemProfile:
+    """Context manager arming :mod:`tracemalloc` around one phase."""
+
+    mode = "mem"
+
+    def __init__(self) -> None:
+        self._snapshot: Optional[tracemalloc.Snapshot] = None
+        self._peak_kb = 0.0
+        self._owns_tracing = False
+
+    def __enter__(self) -> "_MemProfile":
+        self._owns_tracing = not tracemalloc.is_tracing()
+        if self._owns_tracing:
+            tracemalloc.start()
+        elif hasattr(tracemalloc, "reset_peak"):
+            tracemalloc.reset_peak()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._snapshot = tracemalloc.take_snapshot()
+        self._peak_kb = tracemalloc.get_traced_memory()[1] / 1024.0
+        if self._owns_tracing:
+            tracemalloc.stop()
+
+    def stats(self, top: int = TOP_N) -> Dict[str, Any]:
+        """Top-*top* allocation sites by size, as plain dicts."""
+        rows: List[Dict[str, Any]] = []
+        if self._snapshot is not None:
+            for stat in self._snapshot.statistics("lineno")[:top]:
+                frame = stat.traceback[0]
+                rows.append({
+                    "site": f"{frame.filename}:{frame.lineno}",
+                    "size_kb": round(stat.size / 1024.0, 3),
+                    "count": int(stat.count),
+                })
+        return {"mode": self.mode, "top": rows,
+                "peak_kb": round(self._peak_kb, 3)}
+
+
+def profile_block(mode: str) -> Any:
+    """Profiler context for *mode* (``"cpu"`` or ``"mem"``).
+
+    Use ``with profile_block(mode) as prof: ...`` then read
+    ``prof.stats()`` — a picklable ``{"mode", "top": [...]}`` table.
+    """
+    if mode == "cpu":
+        return _CpuProfile()
+    if mode == "mem":
+        return _MemProfile()
+    raise ValueError(f"unknown profile mode {mode!r}; choose from "
+                     f"{'/'.join(PROFILE_MODES)}")
+
+
+def merge_profiles(tables: Iterable[Mapping[str, Any]], mode: str,
+                   top: int = TOP_N) -> Dict[str, Any]:
+    """Merge per-cell top-N tables into one sweep-wide table.
+
+    Sites are summed across cells, then re-ranked: cumulative time for
+    ``cpu``, total size for ``mem``.  Because each input was already
+    truncated to its own top-N, the merge is an approximation biased
+    toward sites hot in at least one cell — exactly the ones worth
+    showing.
+    """
+    tables = list(tables)
+    merged: Dict[str, Dict[str, Any]] = {}
+    peak_kb = 0.0
+    for table in tables:
+        peak_kb = max(peak_kb, table.get("peak_kb", 0.0))
+        for row in table.get("top", []):
+            acc = merged.setdefault(row["site"], dict.fromkeys(
+                (k for k in row if k != "site"), 0))
+            for key, value in row.items():
+                if key != "site":
+                    acc[key] = acc.get(key, 0) + value
+    rank_key = "cumtime_s" if mode == "cpu" else "size_kb"
+    rows = sorted(
+        ({"site": site, **acc} for site, acc in merged.items()),
+        key=lambda r: r.get(rank_key, 0), reverse=True)[:top]
+    for row in rows:
+        for key, value in row.items():
+            if isinstance(value, float):
+                row[key] = round(value, 6)
+    result: Dict[str, Any] = {"mode": mode, "top": rows, "cells": len(tables)}
+    if mode == "mem":
+        result["peak_kb"] = round(peak_kb, 3)
+    return result
+
+
+def format_profile(profile: Mapping[str, Any], top: int = TOP_N) -> str:
+    """Render a (merged or per-cell) profile table for terminal output."""
+    mode = profile.get("mode", "?")
+    rows = profile.get("top", [])[:top]
+    lines = [f"profile ({mode}"
+             + (f", {profile['cells']} cell(s)" if "cells" in profile else "")
+             + ")"]
+    if mode == "mem" and "peak_kb" in profile:
+        lines.append(f"  peak traced memory: {profile['peak_kb']:.1f} KiB")
+    if not rows:
+        lines.append("  (no samples)")
+        return "\n".join(lines)
+    if mode == "cpu":
+        lines.append(f"  {'cumtime':>10}  {'tottime':>10}  {'ncalls':>8}  site")
+        for row in rows:
+            lines.append(f"  {row['cumtime_s']:>9.4f}s  {row['tottime_s']:>9.4f}s"
+                         f"  {row['ncalls']:>8d}  {_short_site(row['site'])}")
+    else:
+        lines.append(f"  {'size':>10}  {'count':>8}  site")
+        for row in rows:
+            lines.append(f"  {row['size_kb']:>8.1f}KB  {row['count']:>8d}  "
+                         f"{_short_site(row['site'])}")
+    return "\n".join(lines)
+
+
+def _short_site(site: str) -> str:
+    """Trim long absolute paths down to the interesting tail."""
+    if len(site) <= 72:
+        return site
+    return "…" + site[-71:]

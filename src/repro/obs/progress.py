@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import sys
 import time
-from typing import Any, Mapping, Optional, TextIO
+from typing import Any, Dict, Mapping, Optional, TextIO
 
 __all__ = ["SweepObserver", "SweepProgress"]
 
@@ -84,6 +84,8 @@ class SweepProgress(SweepObserver):
         self.retried = 0
         self.cache_hits = 0.0
         self.cache_lookups = 0.0
+        self.engine_counts: Dict[str, int] = {}
+        self.fidelity_counts: Dict[str, int] = {}
         self._elapsed_sum = 0.0
         self._started = 0.0
         self._last_paint = 0.0
@@ -129,6 +131,15 @@ class SweepProgress(SweepObserver):
             self.cache_hits += counters.get("trace_cache.hit", 0)
             self.cache_lookups += counters.get("trace_cache.hit", 0)
             self.cache_lookups += counters.get("trace_cache.miss", 0)
+            for name, value in counters.items():
+                if name.startswith("sim.engine_used."):
+                    engine = name.rsplit(".", 1)[1]
+                    self.engine_counts[engine] = (
+                        self.engine_counts.get(engine, 0) + int(value))
+                elif name.startswith("sweep.fidelity."):
+                    tier = name.rsplit(".", 1)[1]
+                    self.fidelity_counts[tier] = (
+                        self.fidelity_counts.get(tier, 0) + int(value))
         self._paint()
 
     def on_sweep_end(self, report: Any) -> None:
@@ -155,7 +166,8 @@ class SweepProgress(SweepObserver):
         return remaining * per_cell / self.workers
 
     def status_line(self) -> str:
-        """Render the one-line status: counts, ETA, cache hit rate."""
+        """Render the one-line status: counts, ETA, cache hit rate,
+        engine and fidelity tallies."""
         width = len(str(self.total))
         parts = [
             f"[{self.done:>{width}}/{self.total}]",
@@ -167,6 +179,14 @@ class SweepProgress(SweepObserver):
         if self.cache_lookups:
             rate = self.cache_hits / self.cache_lookups
             parts.append(f"trace cache {rate:.0%} hit")
+        if self.engine_counts:
+            tally = "+".join(f"{count} {name}" for name, count
+                             in sorted(self.engine_counts.items()))
+            parts.append(f"engine {tally}")
+        if self.fidelity_counts:
+            tally = "+".join(f"{count} {name}" for name, count
+                             in sorted(self.fidelity_counts.items()))
+            parts.append(f"fidelity {tally}")
         return " | ".join(parts)
 
     def _paint(self, force: bool = False) -> None:

@@ -1,0 +1,266 @@
+"""Generation flight recorder: the paper's Figure 3 timeline, live.
+
+The paper reasons about a cache frame's life as alternating **live**
+and **dead** intervals separated by evictions and reloads; the
+simulator already closes one :class:`~repro.core.generations.
+GenerationRecord` per eviction.  This module taps that seam — plus the
+decay and victim-filter decision points — and streams the events into
+a bounded ring buffer that exports as Chrome-trace spans: open
+``chrome://tracing`` or Perfetto and every generation is a bar whose
+live and dead segments are visible per block.
+
+Arming follows the ambient context-manager pattern of
+:class:`~repro.obs.metrics.Telemetry`::
+
+    with FlightRecorder() as rec:
+        sim.run(trace)
+    rec.to_chrome_trace().write("gen-trace.json")
+
+Disarmed cost is one :func:`current_recorder` call plus an attribute
+check per simulator run — the hooks are **bitwise-inert** when
+disarmed (the equivalence harness and ``benchmarks/
+test_perf_recorder.py`` hold that line).  When armed, the simulator
+forces the scalar engine (the batch engine closes generations in
+column order without per-event callbacks; results are bitwise-equal
+between engines, so forcing scalar never changes what is measured)
+and wraps the decay policy and victim-admission filter in recording
+proxies.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from .tracing import ChromeTrace
+
+__all__ = [
+    "DEFAULT_CAPACITY", "FlightRecorder", "NULL_RECORDER",
+    "current_recorder", "RecordingAdmission", "RecordingDecay",
+]
+
+#: Default ring capacity: enough for every generation of a
+#: paper-scale cell without unbounded growth on pathological traces.
+DEFAULT_CAPACITY = 65536
+
+#: Maximum frame lanes in the exported trace before lanes are reused.
+_MAX_LANES = 64
+
+
+class _NullRecorder:
+    """Inert stand-in so call sites skip work with one attribute check."""
+
+    armed = False
+
+    def __repr__(self) -> str:
+        return "<disarmed flight recorder>"
+
+
+NULL_RECORDER = _NullRecorder()
+
+_STACK: List["FlightRecorder"] = []
+
+
+def current_recorder() -> Any:
+    """The innermost armed :class:`FlightRecorder`, else the null one."""
+    return _STACK[-1] if _STACK else NULL_RECORDER
+
+
+class FlightRecorder:
+    """Bounded ring buffer of per-frame generational events.
+
+    Events are compact tuples (kind first); the ring keeps the most
+    recent *capacity* events and counts what it had to drop, so a long
+    run degrades to "the recent past" instead of unbounded memory.
+    """
+
+    armed = True
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        """Create a recorder with a ring of *capacity* events."""
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.events: Deque[Tuple[Any, ...]] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._last_start: Dict[int, int] = {}
+
+    # -- arming --------------------------------------------------------------
+
+    def __enter__(self) -> "FlightRecorder":
+        _STACK.append(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        _STACK.pop()
+
+    # -- event intake (hot path when armed) ----------------------------------
+
+    def _push(self, event: Tuple[Any, ...]) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(event)
+
+    def on_generation(self, record: Any) -> None:
+        """One closed generation (wired through the tracker callback).
+
+        Derives the **reload interval** — fill-to-fill distance for the
+        same block, the paper's third duration — from the previous
+        generation start this recorder saw for the block.
+        """
+        prev = self._last_start.get(record.block_addr)
+        reload_interval = None if prev is None else record.start - prev
+        self._last_start[record.block_addr] = record.start
+        self._push(("gen", record.block_addr, record.start,
+                    record.live_time, record.dead_time, record.hit_count,
+                    record.max_access_interval, reload_interval))
+
+    def on_victim_decision(self, block_addr: int, admitted: bool,
+                           now: int) -> None:
+        """One victim-filter admission verdict at eviction time."""
+        self._push(("victim", block_addr, admitted, now))
+
+    def on_decayed_hit(self, fill_time: int, last_access_time: int,
+                       now: int) -> None:
+        """One decay-induced miss (a reference found the line off)."""
+        self._push(("decay_hit", fill_time, last_access_time, now))
+
+    def on_warmup_reset(self, now: int) -> None:
+        """The warm-up boundary: stats were zeroed at cycle *now*."""
+        self._push(("reset", now))
+
+    # -- reading -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, int]:
+        """Event counts by kind, plus ring pressure."""
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event[0]] = counts.get(event[0], 0) + 1
+        counts["dropped"] = self.dropped
+        counts["capacity"] = self.capacity
+        return counts
+
+    def to_chrome_trace(self) -> ChromeTrace:
+        """Export the ring as Chrome-trace spans (cycles shown as µs).
+
+        Generations become complete spans on greedily packed frame
+        lanes, split into ``live`` and ``dead`` sub-spans; decay and
+        victim decisions become instant markers on dedicated lanes.
+        Simulator cycles map 1:1 onto trace microseconds — the viewer
+        wants wall time, the simulator has cycles, and a linear relabel
+        keeps every duration readable.
+        """
+        trace = ChromeTrace(origin=0.0)
+        pid = 2  # distinct from the sweep-level trace's SWEEP_PID
+        trace.set_process_name(pid, "simulator generations")
+        gens = sorted((e for e in self.events if e[0] == "gen"),
+                      key=lambda e: e[2])
+        lanes: List[int] = []  # per-lane last occupied cycle
+        decision_tid = _MAX_LANES + 1
+        reset_tid = 0
+        for _kind, block, start, live, dead, hits, max_iv, reload_iv in gens:
+            end = start + live + dead
+            lane = None
+            for idx, last_end in enumerate(lanes):
+                if last_end <= start:
+                    lane = idx
+                    break
+            if lane is None:
+                if len(lanes) < _MAX_LANES:
+                    lanes.append(end)
+                    lane = len(lanes) - 1
+                    trace.set_thread_name(pid, lane + 1, f"frames lane {lane}")
+                else:
+                    lane = min(range(len(lanes)), key=lanes.__getitem__)
+                    lanes[lane] = end
+            else:
+                lanes[lane] = end
+            tid = lane + 1
+            args = {"block": f"0x{block:x}", "live": live, "dead": dead,
+                    "hits": hits, "max_access_interval": max_iv}
+            if reload_iv is not None:
+                args["reload_interval"] = reload_iv
+            trace.add_complete(f"gen 0x{block:x}", start / 1e6,
+                               (live + dead) / 1e6, pid=pid, tid=tid,
+                               args=args)
+            if live > 0:
+                trace.add_complete("live", start / 1e6, live / 1e6,
+                                   pid=pid, tid=tid)
+            if dead > 0:
+                trace.add_complete("dead", (start + live) / 1e6, dead / 1e6,
+                                   pid=pid, tid=tid)
+        named_decisions = False
+        for event in self.events:
+            kind = event[0]
+            if kind == "victim":
+                _kind, block, admitted, now = event
+                if not named_decisions:
+                    trace.set_thread_name(pid, decision_tid, "decisions")
+                    named_decisions = True
+                trace.add_instant(
+                    "victim admit" if admitted else "victim reject",
+                    now / 1e6, pid=pid, tid=decision_tid,
+                    args={"block": f"0x{block:x}"})
+            elif kind == "decay_hit":
+                _kind, fill, last_access, now = event
+                if not named_decisions:
+                    trace.set_thread_name(pid, decision_tid, "decisions")
+                    named_decisions = True
+                trace.add_instant(
+                    "decay-induced miss", now / 1e6, pid=pid,
+                    tid=decision_tid,
+                    args={"idle": now - last_access, "age": now - fill})
+            elif kind == "reset":
+                trace.add_instant("warmup reset", event[1] / 1e6,
+                                  pid=pid, tid=reset_tid)
+        return trace
+
+    def __repr__(self) -> str:
+        return (f"FlightRecorder({len(self.events)}/{self.capacity} events, "
+                f"{self.dropped} dropped)")
+
+
+class RecordingAdmission:
+    """Victim-filter proxy that records each admission verdict.
+
+    Wraps any :class:`~repro.core.victim.AdmissionFilter`; every other
+    attribute passes through, so filter-specific state (tables,
+    counters) stays reachable.
+    """
+
+    def __init__(self, inner: Any, recorder: FlightRecorder) -> None:
+        """Wrap *inner*, reporting verdicts to *recorder*."""
+        self._inner = inner
+        self._recorder = recorder
+
+    def admit(self, frame: Any, incoming_block_addr: int, now: int) -> bool:
+        """Delegate, then record the verdict for the evicted block."""
+        verdict = self._inner.admit(frame, incoming_block_addr, now)
+        self._recorder.on_victim_decision(frame.block_addr, verdict, now)
+        return verdict
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class RecordingDecay:
+    """Decay-policy proxy that records each decay-induced miss.
+
+    ``is_decayed`` / ``on_generation_end`` / ``reset_stats`` and all
+    attribute reads (``stats``, ``decay_interval``) pass straight
+    through; only the induced-miss event is observed.
+    """
+
+    def __init__(self, inner: Any, recorder: FlightRecorder) -> None:
+        """Wrap *inner*, reporting induced misses to *recorder*."""
+        self._inner = inner
+        self._recorder = recorder
+
+    def on_decayed_hit(self, fill_time: int, last_access_time: int,
+                       now: int) -> None:
+        """Delegate, then record the induced miss."""
+        self._inner.on_decayed_hit(fill_time, last_access_time, now)
+        self._recorder.on_decayed_hit(fill_time, last_access_time, now)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)

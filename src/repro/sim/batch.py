@@ -64,6 +64,11 @@ def batch_fallback_reason(sim, trace) -> Optional[str]:
     """
     if not getattr(sim, "_batch_capable", False):
         return "simulator subclass is not batch-capable"
+    if getattr(sim, "_recorder", None) is not None:
+        # The batch engine closes generations in column order with no
+        # per-event callbacks, so a recording run needs the scalar
+        # loop; results are bitwise-identical either way.
+        return "flight recorder armed (per-generation events need the scalar loop)"
     if not trace.columns_are_arrays:
         return "trace is list-backed (no column arrays to scan)"
     if sim.policy is not None:

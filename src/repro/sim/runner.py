@@ -47,6 +47,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import random
+import sys
 import threading
 import time
 import traceback
@@ -61,9 +62,16 @@ from ..common.config import MachineConfig, config_digest, paper_machine
 from ..common.errors import CellTimeoutError, ReproError, SimulationError
 from ..faults.injector import FaultInjector, current_injector
 from ..faults.plan import FaultPlan
+from ..obs.history import (
+    ObsStore,
+    append_best_effort,
+    resolve_history,
+    sweep_run_record,
+)
 from ..obs.logging import current_logger
 from ..obs.metrics import Telemetry
 from ..obs.metrics import current as current_telemetry
+from ..obs.profiling import PROFILE_MODES
 from ..obs.progress import SweepObserver
 from ..traces.cache import TraceCache, resolve_cache
 from ..traces.workloads import SPEC2000, get_workload
@@ -116,6 +124,11 @@ class CellSpec:
     #: ``engine`` this *does* change results, so it enters the sweep
     #: manifest (stores refuse to resume across tiers).
     fidelity: str = "exact"
+    #: Deep-profiling mode armed in the worker around the simulate
+    #: phase ("cpu" = cProfile, "mem" = tracemalloc), or None.  Like
+    #: ``engine`` it never changes results, so it stays out of the
+    #: config digest.
+    profile: Optional[str] = None
 
     @property
     def key(self) -> CellKey:
@@ -399,8 +412,16 @@ def _execute_cell(
             kwargs.setdefault("engine", spec.engine)
             if spec.machine is not None:
                 kwargs.setdefault("machine", spec.machine)
+            tele.count("sweep.fidelity." + spec.fidelity)
             with timed("simulate"):
-                result = _simulate_spec(spec, trace, kwargs, cache)
+                if spec.profile is not None:
+                    from ..obs.profiling import profile_block
+
+                    with profile_block(spec.profile) as prof:
+                        result = _simulate_spec(spec, trace, kwargs, cache)
+                    cell_telemetry["profile"] = prof.stats()
+                else:
+                    result = _simulate_spec(spec, trace, kwargs, cache)
             with timed("serialize"):
                 result.to_dict()
         finally:
@@ -929,6 +950,8 @@ def run_sweep(
     store_metrics: bool = False,
     engine: str = "batch",
     fidelity: str = "exact",
+    profile: Optional[str] = None,
+    obs_history: Union[None, bool, str, "os.PathLike[str]", "ObsStore"] = None,
 ) -> SweepReport:
     """Run a workload×config sweep fault-tolerantly.
 
@@ -1017,6 +1040,21 @@ def run_sweep(
             deterministic window selection, which depends only on
             (length, warmup, seed) and is therefore identical across
             ``--resume`` and any worker count.
+        profile: deep-profiling mode armed in every worker around the
+            simulate phase — ``"cpu"`` (cProfile) or ``"mem"``
+            (tracemalloc).  Each cell ships a top-N table back in its
+            telemetry; the parent merges them into
+            ``report.telemetry["profile"]``.  Implies telemetry
+            collection.  ``None`` (default) arms nothing.
+        obs_history: cross-run history file
+            (:class:`~repro.obs.history.ObsStore`, path, or ``None``)
+            that one distilled record of this sweep is appended to on
+            completion — the ``repro obs`` observatory's data source.
+            ``None`` consults the ``REPRO_OBS_HISTORY`` environment
+            variable; ``False`` disables appends even when the
+            variable is set.  Appends are best-effort: a locked or
+            unwritable history warns on stderr instead of failing a
+            completed sweep.  Implies telemetry collection.
 
     Returns:
         A :class:`SweepReport`; failed cells appear in ``report.failures``
@@ -1047,6 +1085,12 @@ def run_sweep(
         get_workload(name)  # fail fast on unknown workloads
     resolved_warmup = length // 3 if warmup is None else warmup
 
+    if profile is not None and profile not in PROFILE_MODES:
+        raise SimulationError(
+            f"unknown profile mode {profile!r}; expected one of {PROFILE_MODES}"
+        )
+    history = resolve_history(obs_history)
+
     # Telemetry collection: default on exactly when someone is listening.
     ambient = current_telemetry()
     logger = current_logger()
@@ -1055,6 +1099,10 @@ def run_sweep(
         if telemetry is not None
         else bool(ambient.enabled or logger.enabled or observer is not None)
     )
+    if profile is not None or history is not None:
+        # Profiles ride in cell telemetry, and a history record without
+        # counters would be hollow: both imply collection.
+        collect = True
     sweep_started = time.time()
     sweep_mono = time.monotonic()
     parent_tele = Telemetry()
@@ -1091,10 +1139,24 @@ def run_sweep(
             trace_cache=cache_root,
             engine=engine,
             fidelity=fidelity,
+            profile=profile,
         )
         for name in names
         for config_name, config in configs.items()
     ]
+
+    # Stable identity of this sweep for the cross-run history: what the
+    # store manifest records, minus the created-at timestamp.  Computed
+    # even without a store so storeless sweeps still group correctly.
+    manifest_digest = config_digest({
+        "length": length,
+        "seed": seed,
+        "warmup": resolved_warmup,
+        "machine": config_digest(machine if machine is not None else paper_machine()),
+        "workloads": names,
+        "configs": {name: config_digest(config) for name, config in configs.items()},
+        "fidelity": fidelity,
+    })
 
     # The ambient fault plan (if a FaultInjector is armed here) ships to
     # worker processes so injection sites fire there too.
@@ -1296,6 +1358,14 @@ def run_sweep(
 
     wall_time = time.monotonic() - sweep_mono
     snapshot = parent_tele.snapshot()
+    merged_profile: Optional[Dict[str, Any]] = None
+    if profile is not None:
+        from ..obs.profiling import merge_profiles
+
+        tables = [ct["profile"] for ct in cell_telemetry.values()
+                  if ct.get("profile")]
+        if tables:
+            merged_profile = merge_profiles(tables, profile)
     report = SweepReport(
         results=results,
         failures=failures,
@@ -1305,7 +1375,9 @@ def run_sweep(
         cell_telemetry=cell_telemetry,
         telemetry=(
             {"started": sweep_started, "wall_time": wall_time,
-             "phases": sweep_phases, "hangs": hangs, **snapshot}
+             "phases": sweep_phases, "hangs": hangs,
+             **({"profile": merged_profile} if merged_profile else {}),
+             **snapshot}
             if collect
             else None
         ),
@@ -1325,4 +1397,14 @@ def run_sweep(
     )
     if observer is not None:
         observer.on_sweep_end(report)
+    if history is not None:
+        warning = append_best_effort(
+            history, sweep_run_record(report, manifest_digest=manifest_digest))
+        if warning is None:
+            logger.event("obs.append", path=history.path, source="sweep",
+                         manifest_digest=manifest_digest)
+        else:
+            logger.event("obs.append_failed", path=history.path,
+                         error=warning)
+            print(warning, file=sys.stderr)
     return report

@@ -40,40 +40,24 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from ..common.errors import StoreError, StoreLockedError
+from ..common.errors import StoreError
+from ..common.jsonl import JsonlJournal, LineIssue, PathLike
 from ..faults.injector import current_injector
 from ..obs.logging import current_logger
 from ..obs.metrics import current as current_telemetry
 
-try:  # advisory locking is POSIX-only; elsewhere the store runs unlocked
-    import fcntl
-except ImportError:  # pragma: no cover — non-POSIX platforms
-    fcntl = None  # type: ignore[assignment]
-
-PathLike = Union[str, "os.PathLike[str]"]
+__all__ = [
+    "STORE_VERSION", "CellKey", "LineIssue", "LoadReport", "RunStore",
+]
 
 #: Store format version written into every manifest line.
 STORE_VERSION = 1
 
 #: Key identifying one cell: ``(workload, config_name)``.
 CellKey = Tuple[str, str]
-
-
-@dataclass(frozen=True)
-class LineIssue:
-    """One store line that could not be used as-is."""
-
-    lineno: int
-    reason: str
-    text: str
-
-    def to_dict(self) -> Dict[str, Any]:
-        """Plain JSON-able form (what the quarantine sidecar stores)."""
-        return {"lineno": self.lineno, "reason": self.reason, "raw": self.text}
 
 
 @dataclass
@@ -130,8 +114,13 @@ class LoadReport:
         return "; ".join(parts)
 
 
-class RunStore:
+class RunStore(JsonlJournal):
     """One sweep campaign's checkpoint file.
+
+    Crash-safety mechanics (fsynced appends, advisory lock, quarantine
+    sidecar, atomic compaction) come from
+    :class:`~repro.common.jsonl.JsonlJournal`; this class owns the
+    sweep-specific record schema and resume-compatibility policy.
 
     Use as a context manager (or call :meth:`close`)::
 
@@ -141,21 +130,7 @@ class RunStore:
             store.record_result("gzip", "base", result, attempts=1, elapsed=2.0)
     """
 
-    def __init__(self, path: PathLike) -> None:
-        """Bind to *path*; the file is opened lazily on first append."""
-        self.path = os.fspath(path)
-        self._fh = None
-        self._lock_fh = None
-
-    @property
-    def lock_path(self) -> str:
-        """The advisory-lock sidecar (never replaced, so flocks stay valid)."""
-        return self.path + ".lock"
-
-    @property
-    def quarantine_path(self) -> str:
-        """The sidecar where :meth:`repair` preserves unusable lines."""
-        return self.path + ".quarantine"
+    lock_hint = "concurrent sweeps must use distinct stores"
 
     # -- reading -------------------------------------------------------------
 
@@ -302,92 +277,15 @@ class RunStore:
         issues = list(report.quarantined) + list(report.superseded)
         if report.torn_tail is not None:
             issues.append(report.torn_tail)
-        if not issues:
-            return
-        try:
-            with open(self.quarantine_path, "a", encoding="utf-8") as fh:
-                for issue in sorted(issues, key=lambda i: i.lineno):
-                    fh.write(json.dumps({**issue.to_dict(),
-                                         "quarantined_at": time.time()},
-                                        separators=(",", ":")) + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-        except OSError as exc:
-            raise StoreError(
-                f"cannot write quarantine sidecar {self.quarantine_path}: {exc}"
-            ) from exc
+        self._quarantine_issues(issues)
 
     def _rewrite_compacted(self, report: LoadReport) -> None:
         """Atomically replace the store with its compacted contents."""
-        tmp_path = f"{self.path}.compact.{os.getpid()}.tmp"
-        try:
-            with open(tmp_path, "w", encoding="utf-8") as fh:
-                if report.manifest is not None:
-                    fh.write(json.dumps(report.manifest,
-                                        separators=(",", ":")) + "\n")
-                for _key, record in report.cells.items():
-                    fh.write(json.dumps(record, separators=(",", ":")) + "\n")
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_path, self.path)
-            self._fsync_dir()
-        except OSError as exc:
-            try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise StoreError(f"cannot compact store {self.path}: {exc}") from exc
-
-    def _fsync_dir(self) -> None:
-        """Best-effort fsync of the containing directory (rename durability)."""
-        dirname = os.path.dirname(os.path.abspath(self.path))
-        try:
-            dir_fd = os.open(dirname, os.O_RDONLY)
-        except OSError:  # pragma: no cover — e.g. permissions
-            return
-        try:
-            os.fsync(dir_fd)
-        except OSError:  # pragma: no cover — not supported on this FS
-            pass
-        finally:
-            os.close(dir_fd)
-
-    # -- locking -------------------------------------------------------------
-
-    def _acquire_lock(self) -> None:
-        """Take the advisory writer lock, or raise :class:`StoreLockedError`.
-
-        Re-entrant per instance (one ``RunStore`` serving several
-        ``run_sweep`` groups keeps its lock between them).  A no-op on
-        platforms without ``fcntl``.
-        """
-        if fcntl is None or self._lock_fh is not None:  # pragma: no branch
-            return
-        try:
-            fh = open(self.lock_path, "a+", encoding="utf-8")
-        except OSError as exc:
-            raise StoreError(
-                f"cannot open store lock {self.lock_path}: {exc}"
-            ) from exc
-        try:
-            fcntl.flock(fh.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
-        except OSError as exc:
-            fh.close()
-            raise StoreLockedError(
-                f"store {self.path} is held by another writer "
-                f"(advisory lock {self.lock_path}); concurrent sweeps must "
-                f"use distinct stores"
-            ) from exc
-        self._lock_fh = fh
-
-    def _release_lock(self) -> None:
-        if self._lock_fh is not None:
-            try:
-                if fcntl is not None:
-                    fcntl.flock(self._lock_fh.fileno(), fcntl.LOCK_UN)
-            finally:
-                self._lock_fh.close()
-                self._lock_fh = None
+        records: List[Mapping[str, Any]] = []
+        if report.manifest is not None:
+            records.append(report.manifest)
+        records.extend(report.cells.values())
+        self._atomic_rewrite(records)
 
     # -- writing -------------------------------------------------------------
 
@@ -423,13 +321,7 @@ class RunStore:
                         f"start over"
                     )
                 _check_compatible(self.path, prior, manifest)
-            if self._fh is not None:
-                self._fh.close()
-                self._fh = None
-            try:
-                self._fh = open(self.path, "ab")
-            except OSError as exc:
-                raise StoreError(f"cannot open store {self.path}: {exc}") from exc
+            self._open_append()
         except BaseException:
             self._release_lock()
             raise
@@ -520,24 +412,6 @@ class RunStore:
                 after()  # injected torn write: the tear is on disk; now crash
         except OSError as exc:
             raise StoreError(f"cannot append to store {self.path}: {exc}") from exc
-
-    # -- lifecycle -----------------------------------------------------------
-
-    def close(self) -> None:
-        """Close the append handle and release the writer lock."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
-        self._release_lock()
-
-    def __enter__(self) -> "RunStore":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    def __repr__(self) -> str:
-        return f"RunStore({self.path!r})"
 
 
 def _check_compatible(

@@ -1,0 +1,151 @@
+"""CLI surface of the observatory: obs family, --profile, --flight-record."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.history import ObsStore, build_run_record
+from repro.obs.tracing import validate_chrome_trace
+
+
+def _seed_history(path, values):
+    """Append one sweep record per throughput value, same manifest."""
+    store = ObsStore(path)
+    for value in values:
+        store.append_run(build_run_record(
+            source="sweep",
+            metrics={"throughput_aps": value, "wall_time_s": 10.0},
+            manifest_digest="digest0"))
+    return str(path)
+
+
+class TestObsCheck:
+    def test_regression_exits_nonzero(self, capsys, tmp_path):
+        path = _seed_history(tmp_path / "h.jsonl",
+                             [100_000.0] * 5 + [70_000.0])
+        assert main(["obs", "check", "--history", path]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "throughput_aps" in out
+
+    def test_unchanged_rerun_exits_zero(self, capsys, tmp_path):
+        path = _seed_history(tmp_path / "h.jsonl", [100_000.0] * 6)
+        assert main(["obs", "check", "--history", path]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_tolerance_flag_loosens_the_gate(self, capsys, tmp_path):
+        path = _seed_history(tmp_path / "h.jsonl",
+                             [100_000.0] * 5 + [70_000.0])
+        assert main(["obs", "check", "--history", path,
+                     "--tolerance", "50"]) == 0
+
+    def test_empty_history_is_clean_error(self, capsys, tmp_path):
+        assert main(["obs", "check", "--history",
+                     str(tmp_path / "absent.jsonl")]) == 1
+        assert "no records" in capsys.readouterr().err
+
+    def test_history_env_fallback(self, capsys, tmp_path, monkeypatch):
+        path = _seed_history(tmp_path / "h.jsonl", [100.0] * 3)
+        monkeypatch.setenv("REPRO_OBS_HISTORY", path)
+        assert main(["obs", "check"]) == 0
+
+
+class TestObsReportExportList:
+    def test_report_writes_dashboard(self, capsys, tmp_path):
+        path = _seed_history(tmp_path / "h.jsonl", [1.0, 2.0, 3.0])
+        out_md = tmp_path / "OBS.md"
+        assert main(["obs", "report", "--history", path,
+                     "--out", str(out_md)]) == 0
+        text = out_md.read_text(encoding="utf-8")
+        assert "observatory" in text.lower()
+        assert "`sweep`" in text
+
+    def test_report_to_stdout(self, capsys, tmp_path):
+        path = _seed_history(tmp_path / "h.jsonl", [1.0])
+        assert main(["obs", "report", "--history", path, "--out", "-"]) == 0
+        assert "throughput_aps" in capsys.readouterr().out
+
+    def test_export_prom_validates(self, capsys, tmp_path):
+        path = _seed_history(tmp_path / "h.jsonl", [1.0, 2.0])
+        assert main(["obs", "export", "--prom", "--history", path]) == 0
+        out = capsys.readouterr().out
+        assert "# HELP repro_throughput_aps" in out
+        assert "# TYPE repro_throughput_aps gauge" in out
+
+    def test_export_to_file(self, capsys, tmp_path):
+        path = _seed_history(tmp_path / "h.jsonl", [1.0])
+        prom = tmp_path / "obs.prom"
+        assert main(["obs", "export", "--prom", "--history", path,
+                     "--out", str(prom)]) == 0
+        assert "repro_throughput_aps" in prom.read_text(encoding="utf-8")
+
+    def test_list_shows_runs(self, capsys, tmp_path):
+        path = _seed_history(tmp_path / "h.jsonl", [123_456.0])
+        assert main(["obs", "list", "--history", path]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out and "digest0" in out
+
+    def test_list_empty_history(self, capsys, tmp_path):
+        assert main(["obs", "list", "--history",
+                     str(tmp_path / "absent.jsonl")]) == 0
+        assert "no runs recorded" in capsys.readouterr().out
+
+    def test_export_empty_history_fails(self, capsys, tmp_path):
+        assert main(["obs", "export", "--history",
+                     str(tmp_path / "absent.jsonl")]) == 1
+
+
+class TestSweepObservatoryFlags:
+    def test_profile_prints_table_and_persists_history(self, capsys, tmp_path):
+        history = tmp_path / "h.jsonl"
+        assert main(["sweep", "--workloads", "gzip", "--configs", "base",
+                     "--length", "1200", "--quiet",
+                     "--profile", "cpu", "--obs-history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "profile (cpu" in out
+        assert "cumtime" in out
+        runs = ObsStore(history).runs(source="sweep")
+        assert len(runs) == 1
+        assert runs[0]["profile"]["mode"] == "cpu"
+        assert runs[0]["metrics"]["cells_ok"] == 1
+
+    def test_obs_history_append_without_profile(self, capsys, tmp_path):
+        history = tmp_path / "h.jsonl"
+        args = ["sweep", "--workloads", "gzip", "--configs", "base",
+                "--length", "1200", "--quiet", "--obs-history", str(history)]
+        assert main(args) == 0
+        assert main(args) == 0
+        runs = ObsStore(history).runs()
+        assert len(runs) == 2
+        assert runs[0]["manifest_digest"] == runs[1]["manifest_digest"]
+        capsys.readouterr()
+        assert main(["obs", "check", "--history", str(history)]) == 0
+
+    def test_mem_profile_mode(self, capsys, tmp_path):
+        assert main(["sweep", "--workloads", "gzip", "--configs", "base",
+                     "--length", "1200", "--quiet", "--profile", "mem"]) == 0
+        out = capsys.readouterr().out
+        assert "profile (mem" in out and "peak" in out
+
+
+class TestRunFlightRecord:
+    def test_writes_valid_chrome_trace(self, capsys, tmp_path):
+        out_file = tmp_path / "flight.json"
+        assert main(["run", "gzip", "--length", "3000",
+                     "--decay-interval", "2000",
+                     "--flight-record", str(out_file)]) == 0
+        err = capsys.readouterr().err
+        assert "wrote flight recording" in err
+        with open(out_file, "r", encoding="utf-8") as fh:
+            obj = json.load(fh)
+        assert validate_chrome_trace(obj) == []
+        assert any(str(e.get("name", "")).startswith("gen 0x")
+                   for e in obj["traceEvents"])
+
+    def test_recording_does_not_change_the_summary(self, capsys, tmp_path):
+        assert main(["run", "gzip", "--length", "3000"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["run", "gzip", "--length", "3000", "--flight-record",
+                     str(tmp_path / "f.json")]) == 0
+        recorded = capsys.readouterr().out
+        assert recorded == plain

@@ -1,0 +1,169 @@
+"""ObsStore: crash-safe run-history appends and record assembly."""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro.common.errors import StoreError, StoreLockedError
+from repro.obs.history import (
+    HISTORY_ENV,
+    OBS_VERSION,
+    ObsStore,
+    append_best_effort,
+    build_run_record,
+    git_revision,
+    host_fingerprint,
+    resolve_history,
+)
+
+
+def _record(source="sweep", digest="abc", **metrics):
+    metrics = metrics or {"throughput_aps": 1000.0}
+    return build_run_record(source=source, metrics=metrics,
+                            manifest_digest=digest)
+
+
+class TestAppendAndLoad:
+    def test_round_trip_one_record(self, tmp_path):
+        store = ObsStore(tmp_path / "h.jsonl")
+        store.append_run(_record())
+        load = store.load_report()
+        assert load.clean
+        assert len(load.records) == 1
+        rec = load.records[0]
+        assert rec["kind"] == "obs_run"
+        assert rec["version"] == OBS_VERSION
+        assert rec["source"] == "sweep"
+        assert rec["metrics"] == {"throughput_aps": 1000.0}
+        # Keyed by digest, rev, host fingerprint, UTC timestamp.
+        assert rec["manifest_digest"] == "abc"
+        assert rec["git_rev"]
+        assert rec["host_fingerprint"]
+        assert rec["utc"].endswith("Z")
+
+    def test_appends_accumulate_in_order(self, tmp_path):
+        store = ObsStore(tmp_path / "h.jsonl")
+        for i in range(5):
+            store.append_run(_record(wall_time_s=float(i)))
+        runs = store.runs()
+        assert [r["metrics"]["wall_time_s"] for r in runs] == [0, 1, 2, 3, 4]
+
+    def test_runs_filters_by_source_and_digest(self, tmp_path):
+        store = ObsStore(tmp_path / "h.jsonl")
+        store.append_run(_record(source="sweep", digest="aa"))
+        store.append_run(_record(source="bench", digest="aa"))
+        store.append_run(_record(source="sweep", digest="bb"))
+        assert len(store.runs()) == 3
+        assert len(store.runs(source="sweep")) == 2
+        assert len(store.runs(source="sweep", manifest_digest="aa")) == 1
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        load = ObsStore(tmp_path / "absent.jsonl").load_report()
+        assert load.records == [] and load.clean
+
+
+class TestCrashSafety:
+    def test_torn_tail_tolerated_and_healed_on_append(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = ObsStore(path)
+        store.append_run(_record())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "obs_run", "version": 1, "tru')  # torn crash
+        load = store.load_report()
+        assert load.torn_tail is not None
+        assert len(load.records) == 1
+        # The next append heals: the torn line moves to the sidecar.
+        store.append_run(_record())
+        load = store.load_report()
+        assert load.clean
+        assert len(load.records) == 2
+        assert os.path.exists(store.quarantine_path)
+
+    def test_corrupt_interior_line_quarantined(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        store = ObsStore(path)
+        store.append_run(_record())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"kind": "mystery", "version": 1}) + "\n")
+        store.append_run(_record())
+        load = store.load_report()
+        assert load.clean  # damage was healed under the append lock
+        assert len(load.records) == 2
+        with open(store.quarantine_path, "r", encoding="utf-8") as fh:
+            quarantined = [json.loads(line) for line in fh if line.strip()]
+        assert len(quarantined) == 2
+
+    def test_future_version_refused(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        rec = _record()
+        rec["version"] = OBS_VERSION + 1
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(rec) + "\n")
+        with pytest.raises(StoreError):
+            ObsStore(path).load_report()
+
+    def test_contended_lock_times_out_cleanly(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        holder = ObsStore(path)
+        holder._acquire_lock()
+        try:
+            with pytest.raises(StoreLockedError):
+                ObsStore(path).append_run(_record(), lock_timeout=0.2)
+        finally:
+            holder._release_lock()
+        # Lock released: the append now goes through.
+        ObsStore(path).append_run(_record(), lock_timeout=0.2)
+        assert len(ObsStore(path).runs()) == 1
+
+
+class TestRecordAssembly:
+    def test_non_numeric_and_non_finite_metrics_dropped(self):
+        rec = build_run_record(
+            source="sweep",
+            metrics={"ok": 1.5, "nan": math.nan, "inf": math.inf,
+                     "flag": True, "label": "fast"},
+            manifest_digest="d",
+        )
+        assert rec["metrics"] == {"ok": 1.5}
+
+    def test_git_revision_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GIT_REV", "deadbee")
+        assert git_revision() == "deadbee"
+
+    def test_host_fingerprint_is_stable(self):
+        a, b = host_fingerprint(), host_fingerprint()
+        assert a == b
+        assert len(a["host_fingerprint"]) == 12
+
+
+class TestResolveHistory:
+    def test_false_disables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(HISTORY_ENV, str(tmp_path / "env.jsonl"))
+        assert resolve_history(False) is None
+
+    def test_none_consults_environment(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(HISTORY_ENV, raising=False)
+        assert resolve_history(None) is None
+        monkeypatch.setenv(HISTORY_ENV, str(tmp_path / "env.jsonl"))
+        store = resolve_history(None)
+        assert isinstance(store, ObsStore)
+        assert store.path == str(tmp_path / "env.jsonl")
+
+    def test_path_and_store_pass_through(self, tmp_path):
+        store = resolve_history(tmp_path / "h.jsonl")
+        assert isinstance(store, ObsStore)
+        assert resolve_history(store) is store
+
+    def test_append_best_effort_reports_failure_as_warning(self, tmp_path):
+        # A directory where the file should be makes the append fail;
+        # best-effort means a warning string, never an exception.
+        bad = tmp_path / "taken"
+        bad.mkdir()
+        warning = append_best_effort(ObsStore(bad), _record())
+        assert warning is not None and "taken" in warning
+        assert append_best_effort(None, _record()) is None
+        ok = append_best_effort(ObsStore(tmp_path / "h.jsonl"), _record())
+        assert ok is None

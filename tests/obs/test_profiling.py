@@ -1,0 +1,102 @@
+"""Per-cell profiling capture and parent-side merging."""
+
+import pytest
+
+from repro.obs.profiling import (
+    PROFILE_MODES,
+    format_profile,
+    merge_profiles,
+    profile_block,
+)
+
+
+def _busy():
+    return sum(i * i for i in range(20_000))
+
+
+class TestProfileBlock:
+    def test_cpu_mode_captures_call_sites(self):
+        with profile_block("cpu") as prof:
+            _busy()
+        table = prof.stats()
+        assert table["mode"] == "cpu"
+        assert table["top"]
+        row = table["top"][0]
+        assert set(row) == {"site", "ncalls", "tottime_s", "cumtime_s"}
+        assert any("test_profiling" in r["site"] or "genexpr" in r["site"]
+                   for r in table["top"])
+
+    def test_mem_mode_captures_allocations_and_peak(self):
+        with profile_block("mem") as prof:
+            data = [bytearray(4096) for _ in range(200)]
+        table = prof.stats()
+        assert table["mode"] == "mem"
+        assert table["peak_kb"] > 0
+        assert table["top"]
+        assert set(table["top"][0]) == {"site", "size_kb", "count"}
+        del data
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            profile_block("gpu")
+        assert PROFILE_MODES == ("cpu", "mem")
+
+    def test_tables_are_plain_picklable_data(self):
+        import pickle
+
+        with profile_block("cpu") as prof:
+            _busy()
+        assert pickle.loads(pickle.dumps(prof.stats())) == prof.stats()
+
+
+class TestMergeProfiles:
+    def test_cpu_merge_sums_by_site_and_reranks(self):
+        a = {"mode": "cpu", "top": [
+            {"site": "x.py:1:f", "ncalls": 2, "tottime_s": 0.1, "cumtime_s": 0.2},
+            {"site": "y.py:2:g", "ncalls": 1, "tottime_s": 0.5, "cumtime_s": 0.9},
+        ]}
+        b = {"mode": "cpu", "top": [
+            {"site": "x.py:1:f", "ncalls": 3, "tottime_s": 0.2, "cumtime_s": 1.0},
+        ]}
+        merged = merge_profiles([a, b], "cpu")
+        assert merged["cells"] == 2
+        by_site = {r["site"]: r for r in merged["top"]}
+        assert by_site["x.py:1:f"]["ncalls"] == 5
+        assert by_site["x.py:1:f"]["cumtime_s"] == pytest.approx(1.2)
+        # Re-ranked by merged cumtime: x (1.2s) ahead of y (0.9s).
+        assert merged["top"][0]["site"] == "x.py:1:f"
+
+    def test_mem_merge_takes_worst_peak(self):
+        a = {"mode": "mem", "peak_kb": 100.0,
+             "top": [{"site": "x.py:1", "size_kb": 10.0, "count": 1}]}
+        b = {"mode": "mem", "peak_kb": 300.0,
+             "top": [{"site": "x.py:1", "size_kb": 5.0, "count": 2}]}
+        merged = merge_profiles([a, b], "mem")
+        assert merged["peak_kb"] == pytest.approx(300.0)
+        assert merged["top"][0]["size_kb"] == pytest.approx(15.0)
+        assert merged["top"][0]["count"] == 3
+
+    def test_top_n_truncates(self):
+        tables = [{"mode": "cpu", "top": [
+            {"site": f"m.py:{i}:f", "ncalls": 1, "tottime_s": 0.0,
+             "cumtime_s": float(i)} for i in range(50)
+        ]}]
+        merged = merge_profiles(tables, "cpu", top=5)
+        assert len(merged["top"]) == 5
+        assert merged["top"][0]["cumtime_s"] == pytest.approx(49.0)
+
+    def test_empty_input_merges_to_nothing(self):
+        merged = merge_profiles([], "cpu")
+        assert merged["top"] == [] and merged["cells"] == 0
+
+
+class TestFormatProfile:
+    def test_renders_cpu_and_mem_tables(self):
+        with profile_block("cpu") as prof:
+            _busy()
+        text = format_profile(merge_profiles([prof.stats()], "cpu"))
+        assert "cumtime" in text and "site" in text
+        mem = {"mode": "mem", "peak_kb": 12.5, "cells": 1,
+               "top": [{"site": "x.py:1", "size_kb": 1.0, "count": 4}]}
+        text = format_profile(mem)
+        assert "peak" in text and "x.py:1" in text

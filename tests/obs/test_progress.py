@@ -66,6 +66,29 @@ class TestSweepProgress:
         progress.on_cell_done("a", "base", True, 1, 0.1)
         assert "trace cache" not in progress.status_line()
 
+    def test_engine_and_fidelity_tallies_from_counters(self):
+        progress, _stream = _progress()
+        progress.on_sweep_start(3, workers=1)
+        progress.on_cell_done("a", "base", True, 1, 0.1,
+                              counters={"sim.engine_used.batch": 1,
+                                        "sweep.fidelity.exact": 1})
+        progress.on_cell_done("a", "pf_tk", True, 1, 0.1,
+                              counters={"sim.engine_used.scalar": 1,
+                                        "sweep.fidelity.exact": 1})
+        progress.on_cell_done("b", "base", True, 1, 0.1,
+                              counters={"sim.engine_used.batch": 1,
+                                        "sweep.fidelity.sampled": 1})
+        line = progress.status_line()
+        assert "engine 2 batch+1 scalar" in line
+        assert "fidelity 2 exact+1 sampled" in line
+
+    def test_no_tally_segments_without_counters(self):
+        progress, _stream = _progress()
+        progress.on_sweep_start(1, workers=1)
+        progress.on_cell_done("a", "base", True, 1, 0.1)
+        line = progress.status_line()
+        assert "engine" not in line and "fidelity" not in line
+
     def test_non_tty_stream_gets_plain_lines(self):
         progress, stream = _progress()
         progress.on_sweep_start(2, workers=1)

@@ -119,6 +119,58 @@ class TestTelemetry:
         tele.merge({})
         assert tele.counters == {"c": 1}
 
+    def test_merge_conflicting_gauges_last_snapshot_wins(self):
+        # Workers report the same gauge with different values; whichever
+        # snapshot merges last sticks, and order is caller-controlled.
+        parent = Telemetry()
+        first, second = Telemetry(), Telemetry()
+        first.gauge("simulator.accesses_per_sec", 100.0)
+        second.gauge("simulator.accesses_per_sec", 900.0)
+        parent.merge(first.snapshot())
+        parent.merge(second.snapshot())
+        assert parent.gauges == {"simulator.accesses_per_sec": 900.0}
+        parent.merge(first.snapshot())
+        assert parent.gauges == {"simulator.accesses_per_sec": 100.0}
+
+    def test_merge_zero_sample_timer_does_not_corrupt_stats(self):
+        # A worker that armed a timer name but never recorded ships
+        # count=0 with min=inf; merging it must not poison the
+        # parent's min/max or inflate its count.
+        parent = Telemetry()
+        parent.record("t", 2.0)
+        empty = {"timers": {"t": {"count": 0, "total": 0.0,
+                                  "min": float("inf"), "max": 0.0}}}
+        parent.merge(empty)
+        assert parent.timers["t"].count == 1
+        assert parent.timers["t"].min == pytest.approx(2.0)
+        assert parent.timers["t"].max == pytest.approx(2.0)
+        # Merged into a fresh parent, a zero-sample timer stays inert:
+        # later real samples compute min/max from scratch.
+        fresh = Telemetry()
+        fresh.merge(empty)
+        assert fresh.timers["t"].count == 0
+        fresh.record("t", 5.0)
+        assert fresh.timers["t"].min == pytest.approx(5.0)
+        assert fresh.timers["t"].max == pytest.approx(5.0)
+
+    def test_merge_survives_cross_process_json_round_trip(self):
+        # Worker snapshots cross the process boundary as JSON-able
+        # dicts; a serialize/deserialize cycle must merge identically
+        # to the in-process snapshot.
+        worker = Telemetry()
+        worker.count("cells", 3)
+        worker.gauge("rate", 0.5)
+        worker.record("simulate", 0.25)
+        worker.record("simulate", 0.75)
+        wire = json.loads(json.dumps(worker.snapshot()))
+
+        direct, via_wire = Telemetry(), Telemetry()
+        direct.merge(worker.snapshot())
+        via_wire.merge(wire)
+        assert via_wire.snapshot() == direct.snapshot()
+        assert via_wire.timers["simulate"].count == 2
+        assert via_wire.timers["simulate"].min == pytest.approx(0.25)
+
 
 class TestAmbientStack:
     def test_default_is_null(self):

@@ -190,7 +190,12 @@ class TestReport:
         store = self._sweep_into(tmp_path)
         capsys.readouterr()
         assert main(["report", store, "--timing"]) == 0
-        assert "no telemetry in this store" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "no telemetry in this store" in out
+        # The notice replaces the breakdown: an all-dashes table would
+        # read as "every phase took no time".
+        assert "time breakdown" not in out
+        assert "gzip" not in out
 
     def test_missing_store_is_clean_error(self, capsys, tmp_path):
         assert main(["report", str(tmp_path / "absent.jsonl")]) == 1

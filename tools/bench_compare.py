@@ -15,10 +15,20 @@ than the machine the baselines were recorded on, so CI uses ``--smoke``
 regressions — pathological slowdowns, accidental O(n^2) — rather than
 chasing single-digit percentages.
 
+Every measuring run also appends one record to the run-history store
+(``BENCH_history.jsonl`` by default, ``--no-history`` to skip), so
+``repro obs check``/``report`` can trend probe timings across commits
+alongside sweep telemetry.
+
+``--update-baseline`` re-measures every probe — including ones whose
+baseline entry is missing — and writes the fresh timings back into the
+``BENCH_*.json`` files, for refreshing baselines on a new machine.
+
 Usage::
 
     PYTHONPATH=src python tools/bench_compare.py [--threshold 25] [--smoke]
     PYTHONPATH=src python tools/bench_compare.py --json out.json
+    PYTHONPATH=src python tools/bench_compare.py --update-baseline
 """
 
 from __future__ import annotations
@@ -204,6 +214,82 @@ def compare(probes: List[Probe], baselines: Mapping[str, Mapping[str, Any]],
     return rows
 
 
+def _set_path(obj: Dict[str, Any], dotted: str, value: float) -> None:
+    """Write *value* at the *dotted* path, creating intermediate dicts."""
+    parts = dotted.split(".")
+    node = obj
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+        if not isinstance(node, dict):
+            raise TypeError(f"baseline path {dotted!r} collides with a "
+                            f"non-object at {part!r}")
+    node[parts[-1]] = round(value, 3)
+
+
+def update_baselines(probes: List[Probe],
+                     baselines: Dict[str, Dict[str, Any]],
+                     root: Path, *, rounds: int) -> List[Dict[str, Any]]:
+    """Measure every probe and write the timings back into the files.
+
+    Missing baseline files and missing entries are created, so a fresh
+    machine can bootstrap its baselines in one run.  Returns rows in the
+    same shape ``compare`` produces (status ``updated``).
+    """
+    rows: List[Dict[str, Any]] = []
+    for probe in probes:
+        current = probe.measure(rounds)
+        obj = baselines.setdefault(probe.baseline_file, {})
+        _set_path(obj, probe.baseline_path, current)
+        rows.append({"probe": probe.name, "current_ms": round(current, 2),
+                     "status": "updated"})
+    for name in sorted({p.baseline_file for p in probes}):
+        path = root / name
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(baselines[name], fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"updated {path}", file=sys.stderr)
+    return rows
+
+
+def history_record(rows: List[Dict[str, Any]], *, rounds: int) -> Dict[str, Any]:
+    """Run-history record for one probe pass (source ``bench``).
+
+    Metric names are ``probe_ms_<name>`` with dots flattened — the
+    sentinel's lower-is-better ``probe_ms_`` family, so slowdowns are
+    flagged by ``repro obs check`` like any other regression.
+    """
+    from repro.common.config import config_digest
+    from repro.obs.history import build_run_record
+
+    measured = [r for r in rows if "current_ms" in r]
+    metrics = {
+        "probe_ms_" + r["probe"].replace(".", "_"): r["current_ms"]
+        for r in measured
+    }
+    digest = config_digest({
+        "probes": sorted(r["probe"] for r in measured),
+        "rounds": rounds,
+    })
+    return build_run_record(source="bench", metrics=metrics,
+                            manifest_digest=digest)
+
+
+def append_history(path: Path, rows: List[Dict[str, Any]],
+                   *, rounds: int) -> None:
+    """Best-effort append of this pass to the run-history store."""
+    from repro.obs.history import ObsStore, append_best_effort
+
+    record = history_record(rows, rounds=rounds)
+    if not record["metrics"]:
+        return
+    warning = append_best_effort(ObsStore(path), record)
+    if warning is not None:
+        print(warning, file=sys.stderr)
+    else:
+        print(f"appended {len(record['metrics'])} probe timing(s) to {path}",
+              file=sys.stderr)
+
+
 def render(rows: List[Dict[str, Any]], threshold: float, out=sys.stdout) -> None:
     width = max(len(r["probe"]) for r in rows) if rows else 5
     print(f"{'probe':<{width}}  {'baseline':>10}  {'current':>10}  "
@@ -242,6 +328,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="directory holding the BENCH_*.json files")
     parser.add_argument("--json", type=Path, default=None, metavar="FILE",
                         help="also write the comparison rows as JSON")
+    parser.add_argument("--history", type=Path, default=None, metavar="FILE",
+                        help="run-history store to append probe timings to "
+                             "(default: <baseline-dir>/BENCH_history.jsonl)")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append this pass to the run history")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="measure every probe (skipped ones included) and "
+                             "write the timings back into the BENCH_*.json "
+                             "files instead of comparing")
     args = parser.parse_args(argv)
 
     threshold = args.threshold if args.threshold is not None else (
@@ -251,8 +346,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     probes = default_probes()
     baselines = load_baselines(
         args.baseline_dir, sorted({p.baseline_file for p in probes}))
+    history_path = args.history or (args.baseline_dir / "BENCH_history.jsonl")
+
+    if args.update_baseline:
+        rows = update_baselines(probes, dict(baselines), args.baseline_dir,
+                                rounds=rounds)
+        for row in rows:
+            print(f"{row['probe']}: {row['current_ms']:.2f}ms")
+        if not args.no_history:
+            append_history(history_path, rows, rounds=rounds)
+        return 0
+
     rows = compare(probes, baselines, rounds=rounds, threshold=threshold)
     render(rows, threshold)
+    if not args.no_history:
+        append_history(history_path, rows, rounds=rounds)
 
     if args.json:
         payload = {"threshold_pct": threshold, "rounds": rounds, "rows": rows}
