@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Drive the sweep-as-a-service gateway over HTTP, end to end.
+
+Full API reference and operator runbook: docs/SERVICE.md.
+
+This example starts a throwaway daemon in-process (an ephemeral port,
+a temp data dir), then acts as a pure HTTP client against it: submit a
+sweep, stream live progress, fetch the result, and demonstrate the
+idempotency-key dedupe — resubmitting the identical request costs
+nothing because the service recognizes it already holds the answer.
+
+Against a real deployment you would skip the daemon setup and point
+``ServiceClient`` (or ``repro submit`` / ``repro jobs``, or plain
+curl) at its URL instead.
+
+Run:  PYTHONPATH=src python examples/service_client.py
+"""
+
+import tempfile
+import threading
+
+from repro.service import DaemonConfig, ServiceClient, ServiceDaemon
+
+SWEEP = {
+    "workloads": "gzip,art,mcf",
+    "configs": "base,victim_tk",
+    "length": 3000,
+}
+
+
+def start_daemon(data_dir):
+    """A local gateway on an ephemeral port; returns its base URL."""
+    daemon = ServiceDaemon(DaemonConfig(port=0, data_dir=data_dir))
+    ready = threading.Event()
+    bound = {}
+
+    def on_ready(host, port):
+        bound["url"] = f"http://{host}:{port}"
+        ready.set()
+
+    threading.Thread(target=daemon.run, kwargs={"ready": on_ready},
+                     daemon=True).start()
+    ready.wait(15)
+    return bound["url"]
+
+
+def main():
+    with tempfile.TemporaryDirectory() as data_dir:
+        url = start_daemon(data_dir)
+        client = ServiceClient(url)
+        print(f"gateway up at {url}")
+        print(f"healthz: {client.healthz()['status']}")
+
+        # submit: 202 + a job id; "queued" means fresh work
+        response = client.submit("sweep", SWEEP)
+        job = response["job"]
+        print(f"\nsubmitted {job['id']} (key {job['key']}): "
+              f"{response['outcome']}")
+
+        # poll with live progress (GET /v1/jobs/<id> while running)
+        def show(progress):
+            done = progress.get("cells_done", 0)
+            total = progress.get("cells_total", "?")
+            print(f"  progress: {done}/{total} cells "
+                  f"(current: {progress.get('current', '-')})")
+
+        final = client.wait(job["id"], timeout=600, on_progress=show)
+        print(f"job finished: {final['state']}")
+
+        # fetch the result payload (GET /v1/jobs/<id>/result)
+        result = client.result(job["id"])["result"]
+        print(f"\n{result['summary']}")
+        for workload, row in sorted(result["cells"].items()):
+            miss_rate = row["base"]["l1_misses"] / row["base"]["accesses"]
+            victim = row["victim_tk"]["victim"]
+            print(f"  {workload:6s} L1 miss rate {miss_rate:.3f}; "
+                  f"timekeeping filter admitted "
+                  f"{victim['fills']}/{victim['fills'] + victim['rejected']} "
+                  f"victims ({victim['hits']} victim-cache hits)")
+
+        # idempotency: the identical request is a cache hit, no re-run
+        again = client.submit("sweep", SWEEP)
+        print(f"\nresubmitted the same sweep: outcome "
+              f"{again['outcome']!r} (state {again['job']['state']!r}) "
+              f"-- same key, zero simulation")
+
+
+if __name__ == "__main__":
+    main()

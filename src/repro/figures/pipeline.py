@@ -136,6 +136,112 @@ def _build_artifact(spec: FigureSpec, suite: Mapping) -> FigureArtifact:
         )
 
 
+def execute_plan(
+    groups: Sequence[Tuple[Tuple[str, ...], Dict[str, Dict[str, Any]]]],
+    store: RunStore,
+    *,
+    length: int,
+    seed: int = 0,
+    warmup: Optional[int] = None,
+    machine: Optional[MachineConfig] = None,
+    resume: bool = False,
+    retry_poisoned: bool = False,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    hang_grace: Optional[float] = None,
+    trace_cache: Any = True,
+    observer: Any = None,
+    progress: Any = None,
+    fault_hook: Optional[FaultHook] = None,
+    engine: str = "batch",
+    fidelity: str = "exact",
+    cancel: Any = None,
+) -> List["Any"]:
+    """Execute a :func:`plan_cells` plan into *store*, one sweep per group.
+
+    This is the middle layer of the pipeline — no registry lookups, no
+    CLI parsing, no report rendering — so both ``repro paper`` and the
+    service gateway (:mod:`repro.service`) drive the identical
+    execution path.  *store* must be an open-able :class:`RunStore`;
+    later groups always resume into it (they share the campaign).
+    Returns the per-group :class:`~repro.sim.runner.SweepReport` list.
+    A *cancel* probe is forwarded to every ``run_sweep`` call and also
+    checked between groups, so a cancelled campaign stops at the next
+    cell boundary with the store resumable.
+    """
+    resolved_warmup = warmup if warmup is not None else length // 2
+    reports: List[Any] = []
+    first = True
+    for names, configs in groups:
+        if cancel is not None and cancel():
+            break
+        report = run_sweep(
+            configs,
+            workloads=list(names),
+            length=length,
+            seed=seed,
+            machine=machine,
+            warmup=resolved_warmup,
+            workers=workers,
+            timeout=timeout,
+            retries=retries,
+            hang_grace=hang_grace,
+            store=store,
+            # Later groups always resume into the store they share.
+            resume=resume if first else True,
+            retry_poisoned=retry_poisoned,
+            trace_cache=trace_cache,
+            observer=observer,
+            progress=progress,
+            fault_hook=fault_hook,
+            telemetry=True,
+            store_metrics=True,
+            engine=engine,
+            fidelity=fidelity,
+            # The campaign-level caller appends one aggregated record
+            # itself; per-group appends would skew the trajectory.
+            obs_history=False,
+            cancel=cancel,
+        )
+        reports.append(report)
+        first = False
+    return reports
+
+
+def derive_figures(
+    specs: Sequence[FigureSpec],
+    store: RunStore,
+    *,
+    length: int,
+    seed: int = 0,
+    warmup: Optional[int] = None,
+) -> Tuple[List[FigureArtifact], str, int]:
+    """Derive every spec's figure from *store* contents alone.
+
+    The top layer of the pipeline: reads only the checkpoint store
+    (never in-memory sweep results), so it can run in a different
+    process — or a different *day* — than :func:`execute_plan`, and a
+    warm re-run over a complete store regenerates the report
+    byte-identically.  Returns ``(artifacts, report_text,
+    failed_cell_count)``.
+    """
+    resolved_warmup = warmup if warmup is not None else length // 2
+    suite, stored_failures = load_suite(store)
+    artifacts = [_build_artifact(spec, suite) for spec in specs]
+    report_text = render_report(
+        specs=specs,
+        artifacts=artifacts,
+        suite=suite,
+        store=store,
+        length=length,
+        seed=seed,
+        warmup=resolved_warmup,
+        failed_cells=stored_failures,
+    )
+    return artifacts, report_text, stored_failures
+
+
 def run_paper(
     *,
     only: Optional[Sequence[str]] = None,
@@ -230,56 +336,35 @@ def run_paper(
         ]
         groups = [(names, configs) for names, configs in groups if names]
 
-    executed = replayed = failures = 0
-    group_reports = []
     store = RunStore(resolved_store)
     with store:
-        first = True
-        for names, configs in groups:
-            report = run_sweep(
-                configs,
-                workloads=list(names),
-                length=resolved_length,
-                seed=seed,
-                machine=machine,
-                warmup=resolved_warmup,
-                workers=workers,
-                timeout=timeout,
-                retries=retries,
-                hang_grace=hang_grace,
-                store=store,
-                # Later groups always resume into the store they share.
-                resume=resume if first else True,
-                retry_poisoned=retry_poisoned,
-                trace_cache=trace_cache,
-                observer=observer,
-                progress=progress,
-                fault_hook=fault_hook,
-                telemetry=True,
-                store_metrics=True,
-                engine=engine,
-                fidelity=fidelity,
-                # The campaign appends one aggregated record itself
-                # below; per-group appends would skew the trajectory.
-                obs_history=False,
-            )
-            executed += report.executed
-            replayed += report.replayed
-            failures += len(report.failures)
-            group_reports.append(report)
-            first = False
-
-        suite, stored_failures = load_suite(store)
-        artifacts = [_build_artifact(spec, suite) for spec in specs]
-        report_text = render_report(
-            specs=specs,
-            artifacts=artifacts,
-            suite=suite,
-            store=store,
+        group_reports = execute_plan(
+            groups,
+            store,
             length=resolved_length,
             seed=seed,
             warmup=resolved_warmup,
-            failed_cells=stored_failures,
+            machine=machine,
+            resume=resume,
+            retry_poisoned=retry_poisoned,
+            workers=workers,
+            timeout=timeout,
+            retries=retries,
+            hang_grace=hang_grace,
+            trace_cache=trace_cache,
+            observer=observer,
+            progress=progress,
+            fault_hook=fault_hook,
+            engine=engine,
+            fidelity=fidelity,
+        )
+        executed = sum(r.executed for r in group_reports)
+        replayed = sum(r.replayed for r in group_reports)
+        failures = sum(len(r.failures) for r in group_reports)
+
+        artifacts, report_text, stored_failures = derive_figures(
+            specs, store,
+            length=resolved_length, seed=seed, warmup=resolved_warmup,
         )
 
     report_path = os.path.join(out_dir, REPORT_NAME)

@@ -371,6 +371,32 @@ def to_prometheus(records: Sequence[Mapping[str, Any]]) -> str:
     return "\n".join(lines) + ("\n" if lines else "")
 
 
+def live_exposition(metrics: Mapping[str, float],
+                    labels: Optional[Mapping[str, str]] = None) -> str:
+    """Exposition of a live flat ``{metric: value}`` mapping.
+
+    :func:`to_prometheus` renders the *history* (latest record per
+    sweep source); this renders the *present* — a process's own
+    counters and gauges, e.g. the service gateway's ``/v1/metrics``
+    endpoint.  Names are sanitized with the same rules, every family
+    is a gauge, and optional *labels* are attached to every sample.
+    The output passes :func:`validate_prometheus`.
+    """
+    label_str = ""
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_prom_label(str(value))}"'
+            for key, value in sorted(labels.items()))
+        label_str = f"{{{rendered}}}"
+    lines: List[str] = []
+    for metric in sorted(metrics):
+        name = _prom_name(metric)
+        lines.append(f"# HELP {name} repro live metric {metric}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{label_str} {float(metrics[metric]):g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def validate_prometheus(text: str) -> List[str]:
     """Schema-check an exposition payload; returns problem strings.
 

@@ -1,0 +1,39 @@
+"""Sweep-as-a-service: the persistent simulation gateway.
+
+This package turns the batch tools (:func:`repro.sim.runner.run_sweep`,
+:func:`repro.figures.pipeline.run_paper`) into a long-lived HTTP/JSON
+service:
+
+- :mod:`repro.service.jobs` — the job model: request validation,
+  idempotent job keys, and the crash-safe :class:`JobJournal`.
+- :mod:`repro.service.queue` — priority queue with idempotent dedupe
+  (identical requests share one execution and one result).
+- :mod:`repro.service.executor` — worker threads running jobs on the
+  supervised sweep machinery, with live progress and cancellation.
+- :mod:`repro.service.gateway` — the stdlib asyncio HTTP/1.1 front end
+  (see :data:`~repro.service.gateway.ROUTES` for the API surface).
+- :mod:`repro.service.daemon` — wiring plus graceful-drain lifecycle
+  (``repro serve``).
+- :mod:`repro.service.client` — a thin urllib client (``repro submit``,
+  ``repro jobs``, and ``examples/service_client.py`` use it).
+
+The full API reference and operator runbook live in ``docs/SERVICE.md``.
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import DaemonConfig, ServiceDaemon
+from .gateway import ROUTES
+from .jobs import Job, JobJournal, RequestError, job_key, normalize_request
+
+__all__ = [
+    "DaemonConfig",
+    "Job",
+    "JobJournal",
+    "ROUTES",
+    "RequestError",
+    "ServiceClient",
+    "ServiceDaemon",
+    "ServiceError",
+    "job_key",
+    "normalize_request",
+]

@@ -1,0 +1,141 @@
+"""Thin urllib client for the simulation gateway.
+
+Everything that talks to a running daemon goes through
+:class:`ServiceClient` — the ``repro submit``/``repro jobs`` CLI
+subcommands, the CI smoke job, and ``examples/service_client.py``.
+It is deliberately dependency-free (stdlib ``urllib``) and stateless:
+one instance is just a base URL and a timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Optional
+
+from ..common.errors import ReproError
+
+#: Environment variable naming the default gateway URL.
+SERVICE_URL_ENV = "REPRO_SERVICE_URL"
+
+#: Default gateway address (matches ``repro serve`` defaults).
+DEFAULT_URL = "http://127.0.0.1:8423"
+
+
+class ServiceError(ReproError):
+    """An HTTP-level failure talking to the gateway."""
+
+    def __init__(self, message: str, *, status: Optional[int] = None) -> None:
+        """Record the error *message* and the HTTP *status* when known."""
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceClient:
+    """Tiny JSON-over-HTTP client for one gateway."""
+
+    def __init__(self, base_url: str = DEFAULT_URL,
+                 *, timeout: float = 60.0) -> None:
+        """Bind to *base_url* (no connection is made until a call)."""
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def request(self, method: str, path: str,
+                body: Optional[Dict[str, Any]] = None) -> Any:
+        """One HTTP round trip; returns the parsed JSON (or raw text).
+
+        Non-2xx responses raise :class:`ServiceError` carrying the
+        gateway's one-line ``error`` message and the status code.
+        """
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                raw = resp.read().decode("utf-8")
+                content_type = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", "replace")
+            try:
+                message = json.loads(raw).get("error", raw.strip())
+            except ValueError:
+                message = raw.strip() or str(exc)
+            raise ServiceError(message, status=exc.code) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach gateway at {self.base_url}: {exc.reason}"
+            ) from exc
+        if content_type.startswith("application/json"):
+            return json.loads(raw)
+        return raw
+
+    # -- submissions ---------------------------------------------------------
+
+    def submit(self, kind: str, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job; returns ``{"job": ..., "outcome": ...}``.
+
+        *kind* is ``sweep``, ``cell``, or ``figures`` (one POST
+        endpoint each; see docs/SERVICE.md for the body schemas).
+        """
+        endpoint = {"sweep": "/v1/sweeps", "cell": "/v1/cells",
+                    "figures": "/v1/figures"}.get(kind)
+        if endpoint is None:
+            raise ServiceError(f"unknown job kind {kind!r}")
+        return self.request("POST", endpoint, body)
+
+    # -- job reads -----------------------------------------------------------
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        """Status + live progress of one job."""
+        return self.request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def jobs(self) -> Any:
+        """Every job the daemon knows about."""
+        return self.request("GET", "/v1/jobs")["jobs"]
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Terminal job including its result payload (409 while running)."""
+        return self.request("GET", f"/v1/jobs/{job_id}/result")["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a job (idempotent)."""
+        return self.request("DELETE", f"/v1/jobs/{job_id}")["job"]
+
+    def healthz(self) -> Dict[str, Any]:
+        """Daemon liveness payload."""
+        return self.request("GET", "/v1/healthz")
+
+    def metrics(self) -> str:
+        """Raw Prometheus exposition text."""
+        return self.request("GET", "/v1/metrics")
+
+    # -- polling -------------------------------------------------------------
+
+    def wait(self, job_id: str, *, timeout: Optional[float] = None,
+             poll: float = 0.5,
+             on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+             ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final job dict.
+
+        *on_progress* (if given) receives every polled job dict — the
+        CLI and the example client use it to stream live progress.
+        Raises :class:`ServiceError` on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if on_progress is not None:
+                on_progress(job)
+            if job["state"] in ("done", "failed", "cancelled"):
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    f"timed out after {timeout}s waiting for job {job_id} "
+                    f"(state: {job['state']})")
+            time.sleep(poll)

@@ -1,0 +1,310 @@
+"""Daemon lifecycle: wires journal, queue, executor, and gateway.
+
+One :class:`ServiceDaemon` owns everything a ``repro serve`` process
+is: the crash-safe :class:`~repro.service.jobs.JobJournal` (whose
+advisory lock also guarantees one daemon per data directory), the
+:class:`~repro.service.queue.JobQueue`, the
+:class:`~repro.service.executor.WorkerPool`, a
+:class:`~repro.obs.metrics.Telemetry` bank for the service counters
+``/v1/metrics`` exposes, and the asyncio
+:class:`~repro.service.gateway.Gateway`.
+
+Restart semantics: :meth:`start` replays the journal — terminal jobs
+come back servable (their results re-enter the dedupe cache), jobs
+that were queued or running when the process died are re-queued with
+``attempts`` bumped.  Because executions write per-key checkpoint
+stores opened with resume, a re-queued job re-runs only the cells the
+crash lost (duplicate *execution* is possible; result loss is not).
+
+Shutdown semantics: SIGTERM/SIGINT triggers a graceful drain — the
+gateway rejects new submissions with 503, in-flight executions get
+``drain_grace`` seconds to finish, anything still running is left for
+the next start's re-queue path.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..common.config import paper_machine
+from ..obs.metrics import Telemetry
+from ..obs.sentinel import live_exposition
+from ..sim.sweep import CONFIG_PRESETS
+from ..traces.cache import resolve_cache
+from .executor import JobRunner, Outcome, WorkerPool
+from .gateway import Gateway
+from .jobs import (TERMINAL_STATES, Job, JobJournal, RequestError,
+                   normalize_request)
+from .queue import Execution, JobQueue
+
+#: Config knobs the analytical model cannot serve (mirrors
+#: ``repro.analysis.reuse``); presets touching them never run inline.
+_ANALYTICAL_UNSUPPORTED = ("victim_filter", "prefetcher", "prefetch_policy",
+                           "decay_interval", "perfect_non_cold")
+
+
+@dataclass
+class DaemonConfig:
+    """Everything ``repro serve`` lets an operator tune."""
+
+    host: str = "127.0.0.1"
+    port: int = 8423
+    #: Journal, per-key stores, and figure outputs live here.
+    data_dir: str = "service-data"
+    #: Concurrent job executions (worker threads).
+    slots: int = 2
+    #: ``run_sweep`` worker processes per execution.
+    sweep_workers: int = 1
+    #: Per-cell wall-clock budget / retries / hang detection, passed to
+    #: every supervised sweep the executor runs.
+    timeout: Optional[float] = None
+    retries: int = 0
+    hang_grace: Optional[float] = None
+    #: Trace-cache knob (True = default root, path = specific root,
+    #: False = off — which also disables inline analytical serving).
+    trace_cache: Any = True
+    #: Seconds a drain waits for in-flight executions before exiting.
+    drain_grace: float = 30.0
+
+
+class ServiceDaemon:
+    """The long-lived service process behind ``repro serve``."""
+
+    def __init__(self, config: DaemonConfig) -> None:
+        """Wire components; nothing touches disk until :meth:`start`."""
+        self.config = config
+        self.telemetry = Telemetry()
+        self.queue = JobQueue()
+        self.runner = JobRunner(
+            config.data_dir,
+            sweep_workers=config.sweep_workers,
+            timeout=config.timeout,
+            retries=config.retries,
+            hang_grace=config.hang_grace,
+            trace_cache=config.trace_cache,
+        )
+        self.pool = WorkerPool(self.queue, self.runner, self._on_finish,
+                               slots=config.slots)
+        self.gateway = Gateway(self)
+        self.journal = JobJournal(os.path.join(config.data_dir, "jobs.jsonl"))
+        self._journal_lock = threading.Lock()
+        self._started_at = time.time()
+        self._draining = False
+        self.requeued: List[Job] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Open the journal, recover jobs, and start the worker pool."""
+        os.makedirs(self.config.data_dir, exist_ok=True)
+        report = self.journal.start()
+        for job in report.jobs.values():
+            if job.state in TERMINAL_STATES:
+                self.queue.restore(job)
+                continue
+            # Queued or running at crash/drain time: run it again (the
+            # per-key store resumes, so only lost cells re-execute).
+            job.state = "queued"
+            job.started_at = None
+            job.attempts += 1
+            self.queue.submit(job)
+            self._journal(job)
+            self.requeued.append(job)
+            self.telemetry.count("service.jobs.requeued")
+        self.pool.start()
+
+    def drain(self) -> None:
+        """Refuse new work, give in-flight executions a grace period."""
+        self._draining = True
+        self.queue.close()
+        self.pool.join(self.config.drain_grace)
+
+    def close(self) -> None:
+        """Release the journal (after :meth:`drain` on a normal exit)."""
+        self.journal.close()
+
+    # -- journaling ----------------------------------------------------------
+
+    def _journal(self, job: Job) -> None:
+        with self._journal_lock:
+            self.journal.append_job(job)
+
+    # -- submission / dedupe -------------------------------------------------
+
+    def submit(self, kind: str, body: Any) -> Tuple[Job, str]:
+        """Normalize, dedupe, journal, and enqueue one submission.
+
+        Returns ``(job, outcome)`` where outcome is ``queued`` (new
+        execution), ``attached`` (rides an in-flight execution),
+        ``cached`` (served from a completed identical request) or
+        ``inline`` (analytical cell answered synchronously).  Raises
+        :class:`~repro.service.jobs.RequestError` on bad input and
+        :class:`RuntimeError` once draining (the gateway maps it to
+        503).
+        """
+        if self._draining:
+            raise RuntimeError("daemon is draining; resubmit after restart")
+        priority = 0
+        if isinstance(body, dict) and "priority" in body:
+            priority = body["priority"]
+            if isinstance(priority, bool) or not isinstance(priority, int) \
+                    or not (-100 <= priority <= 100):
+                raise RequestError("priority must be an integer in [-100, 100]")
+            body = {k: v for k, v in body.items() if k != "priority"}
+        params = normalize_request(kind, body)
+        job = Job.create(kind, params, priority=priority)
+        self.telemetry.count("service.jobs.submitted")
+        # Dedupe beats recomputation: inline only for unseen keys.
+        inline = None if self.queue.peek(job.key) else self._try_inline(job)
+        if inline is not None:
+            self.queue.restore(inline)
+            self._journal(inline)
+            self.telemetry.count("service.jobs.inline")
+            return inline, "inline"
+        outcome = self.queue.submit(job)
+        self._journal(job)
+        if outcome == "cached":
+            self.telemetry.count("service.jobs.cache_hits")
+        elif outcome == "attached":
+            self.telemetry.count("service.jobs.deduped")
+        return job, outcome
+
+    def _try_inline(self, job: Job) -> Optional[Job]:
+        """Serve an analytical cell synchronously when the profile is warm.
+
+        Inline eligibility: a ``cell`` job at ``fidelity=analytical``
+        whose preset the model supports, with the reuse profile already
+        in the trace cache (a cold profile would cost a full analysis
+        pass — that belongs on the worker pool, not in a request).
+        """
+        params = job.params
+        if job.kind != "cell" or params["fidelity"] != "analytical":
+            return None
+        preset = CONFIG_PRESETS[params["config"]]
+        if any(preset.get(knob) for knob in _ANALYTICAL_UNSUPPORTED):
+            return None
+        cache = resolve_cache(self.config.trace_cache)
+        if cache is None:
+            return None
+        total = params["length"] + params["warmup"]
+        profile = cache.get_reuse_profile(
+            params["workload"], total, params["seed"],
+            warmup=params["warmup"], machine=paper_machine())
+        if profile is None:
+            return None
+        from ..sim.sweep import run_workload
+
+        results = run_workload(
+            params["workload"], {params["config"]: dict(preset)},
+            length=params["length"], warmup=params["warmup"],
+            seed=params["seed"], trace_cache=cache,
+            engine=params["engine"], fidelity="analytical")
+        result = results[params["config"]]
+        now = time.time()
+        job.state = "done"
+        job.started_at = job.finished_at = now
+        job.result = {
+            "kind": "cell",
+            "params": dict(params),
+            "result": result.to_dict(),
+            "inline": True,
+        }
+        return job
+
+    # -- worker callback -----------------------------------------------------
+
+    def _on_finish(self, execution: Execution, outcome: Outcome) -> None:
+        state, result, error = outcome
+        transitioned = self.queue.finish(
+            execution, state, result=result, error=error)
+        for job in transitioned:
+            self._journal(job)
+        self.telemetry.count(f"service.executions.{state}")
+
+    # -- client-facing reads (called by the gateway) -------------------------
+
+    def get_job(self, job_id: str) -> Optional[Job]:
+        """Look up one job."""
+        return self.queue.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job in queue order."""
+        return self.queue.jobs()
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job (idempotent; terminal jobs are left untouched)."""
+        job = self.queue.get(job_id)
+        if job is None:
+            return None
+        already_terminal = job.state in TERMINAL_STATES
+        job = self.queue.cancel(job_id)
+        if job is not None and not already_terminal:
+            self._journal(job)
+            self.telemetry.count("service.jobs.cancelled_by_client")
+        return job
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness payload: status, uptime, and queue depth."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(time.time() - self._started_at, 3),
+            "queue": self.queue.depth(),
+            "slots": self.config.slots,
+        }
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Flat metric mapping behind ``/v1/metrics``."""
+        metrics: Dict[str, float] = {
+            f"service.{state}_jobs": count
+            for state, count in self.queue.depth().items()
+        }
+        metrics["service.uptime_seconds"] = time.time() - self._started_at
+        metrics["service.slots"] = float(self.config.slots)
+        metrics["service.draining"] = float(self._draining)
+        metrics.update(self.telemetry.counters)
+        return metrics
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition of :meth:`metrics_snapshot`."""
+        return live_exposition(self.metrics_snapshot(),
+                               labels={"component": "service"})
+
+    # -- serving -------------------------------------------------------------
+
+    async def serve(self, *, ready: Optional[Any] = None) -> Tuple[str, int]:
+        """Run until SIGTERM/SIGINT, then drain gracefully.
+
+        *ready* (an optional callable) receives the bound ``(host,
+        port)`` once the socket is listening — tests and ``repro
+        serve`` use it to announce the actual port when 0 was
+        requested.
+        """
+        self.start()
+        try:
+            host, port = await self.gateway.start(
+                self.config.host, self.config.port)
+            if ready is not None:
+                ready(host, port)
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                except (NotImplementedError, ValueError, RuntimeError):
+                    pass  # non-main thread or unsupported platform
+            await stop.wait()
+            await self.gateway.stop()
+            await asyncio.to_thread(self.drain)
+            return host, port
+        finally:
+            self.close()
+
+    def run(self, *, ready: Optional[Any] = None) -> None:
+        """Blocking entry point (what ``repro serve`` calls)."""
+        asyncio.run(self.serve(ready=ready))

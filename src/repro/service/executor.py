@@ -1,0 +1,291 @@
+"""Worker-pool executor: runs queued jobs on the supervised sweep core.
+
+Jobs execute on plain threads (the heavy lifting happens inside
+:func:`~repro.sim.runner.run_sweep`, which brings its own process
+supervision — timeouts, hang recycling, retries, circuit breaker — so
+the service inherits every fault-tolerance guarantee of PR 6 for
+free).  Each idempotency key gets its own checkpoint store under
+``<data_dir>/stores/``, opened with ``resume=True`` whenever it
+already exists: a job interrupted by ``kill -9`` re-runs only its
+missing cells on restart, which is what makes restart-and-resume
+converge to the same store bytes.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..obs.progress import SweepObserver
+from ..sim.runner import SweepReport, run_sweep
+from ..sim.sweep import CONFIG_PRESETS
+from .queue import Execution, JobQueue
+
+#: An execution outcome: (terminal job state, result payload, error).
+Outcome = Tuple[str, Optional[Dict[str, Any]], Optional[str]]
+
+
+class ExecutionObserver(SweepObserver):
+    """Mirror sweep lifecycle events into an execution's progress dict.
+
+    The dict is shared (by reference) with every attached job, so
+    ``GET /v1/jobs/<id>`` reads live counts without any polling layer
+    between the runner and the API.
+    """
+
+    def __init__(self, progress: Dict[str, Any]) -> None:
+        """Bind to the execution's shared *progress* dict."""
+        self._progress = progress
+        progress.setdefault("cells_total", 0)
+        progress.setdefault("cells_done", 0)
+        progress.setdefault("cells_failed", 0)
+
+    def on_sweep_start(self, total: int, workers: int) -> None:
+        """Record the cell budget of this sweep (cumulative per job)."""
+        self._progress["cells_total"] += total
+        self._progress["workers"] = workers
+
+    def on_cell_start(self, workload: str, config: str, attempt: int) -> None:
+        """Expose the cell currently being simulated."""
+        self._progress["current"] = f"{workload}:{config}"
+
+    def on_cell_done(self, workload: str, config: str, ok: bool,
+                     attempts: int, elapsed: float,
+                     counters: Optional[Mapping[str, float]] = None) -> None:
+        """Advance the done/failed counters as cells complete."""
+        self._progress["cells_done"] += 1
+        if not ok:
+            self._progress["cells_failed"] += 1
+
+    def on_sweep_end(self, report: Any) -> None:
+        """Clear the live-cell marker once the sweep is over."""
+        self._progress.pop("current", None)
+
+
+def _sweep_payload(report: SweepReport, params: Mapping[str, Any],
+                   *, include_metrics: bool = False) -> Dict[str, Any]:
+    """JSON result payload for sweep (and queued cell) jobs.
+
+    ``cells`` carries the exact :meth:`~repro.sim.results.
+    SimulationResult.to_dict` serialization the checkpoint store holds,
+    so an HTTP result is byte-comparable to a direct ``run_sweep`` of
+    the same request (``summary``/``wall_time`` are the documented
+    wall-clock exceptions).
+    """
+    cells = {
+        workload: {
+            config: result.to_dict(include_metrics=include_metrics)
+            for config, result in row.items()
+        }
+        for workload, row in report.results.items()
+    }
+    return {
+        "kind": "sweep",
+        "params": dict(params),
+        "cells": cells,
+        "failures": [f.to_dict() for f in report.failures],
+        "executed": report.executed,
+        "replayed": report.replayed,
+        "summary": report.summary(),
+        "wall_time": report.wall_time,
+    }
+
+
+class JobRunner:
+    """Executes one :class:`Execution` end to end (called on a worker).
+
+    Owns the run-side policy: where per-key stores live, which sweep
+    supervision knobs the daemon passes down, and how a
+    :class:`~repro.sim.runner.SweepReport` maps to a terminal job
+    state.
+    """
+
+    def __init__(self, data_dir: str, *, sweep_workers: int = 1,
+                 timeout: Optional[float] = None, retries: int = 0,
+                 hang_grace: Optional[float] = None,
+                 trace_cache: Any = True) -> None:
+        """Configure run policy; *data_dir* is created lazily."""
+        self.data_dir = os.fspath(data_dir)
+        self.sweep_workers = sweep_workers
+        self.timeout = timeout
+        self.retries = retries
+        self.hang_grace = hang_grace
+        self.trace_cache = trace_cache
+
+    def store_path(self, kind: str, key: str) -> str:
+        """Checkpoint-store path for one idempotency key."""
+        return os.path.join(self.data_dir, "stores", f"{kind}-{key}.jsonl")
+
+    def __call__(self, execution: Execution) -> Outcome:
+        """Run *execution*; never raises (failures become outcomes)."""
+        try:
+            if execution.kind in ("sweep", "cell"):
+                return self._run_sweep_like(execution)
+            if execution.kind == "figures":
+                return self._run_figures(execution)
+            return ("failed", None,
+                    f"unknown job kind {execution.kind!r}")
+        except Exception as exc:
+            return ("failed", None,
+                    f"{type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc(limit=5)}")
+
+    def _open_store(self, kind: str, key: str):
+        from ..sim.store import RunStore
+
+        path = self.store_path(kind, key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        return RunStore(path), os.path.exists(path)
+
+    def _run_sweep_like(self, execution: Execution) -> Outcome:
+        params = execution.params
+        if execution.kind == "cell":
+            workloads = [params["workload"]]
+            config_names = [params["config"]]
+        else:
+            workloads = list(params["workloads"])
+            config_names = list(params["configs"])
+        configs = {name: dict(CONFIG_PRESETS[name]) for name in config_names}
+        store, resume = self._open_store(execution.kind, execution.key)
+        with store:
+            report = run_sweep(
+                configs,
+                workloads=workloads,
+                length=params["length"],
+                warmup=params["warmup"],
+                seed=params["seed"],
+                workers=self.sweep_workers,
+                timeout=self.timeout,
+                retries=self.retries,
+                hang_grace=self.hang_grace,
+                store=store,
+                resume=resume,
+                trace_cache=self.trace_cache,
+                observer=ExecutionObserver(execution.progress),
+                engine=params["engine"],
+                fidelity=params["fidelity"],
+                obs_history=False,
+                cancel=execution.cancel.is_set,
+            )
+        if report.aborted and execution.cancel.is_set():
+            return ("cancelled", None, report.abort_reason)
+        payload = _sweep_payload(report, params)
+        if execution.kind == "cell":
+            row = report.results.get(params["workload"], {})
+            payload["kind"] = "cell"
+            payload["result"] = (
+                row[params["config"]].to_dict()
+                if params["config"] in row else None)
+            payload["inline"] = False
+        if report.aborted:
+            return ("failed", payload, f"aborted: {report.abort_reason}")
+        if report.failures:
+            return ("failed", payload,
+                    f"{len(report.failures)} cell(s) failed: "
+                    f"{report.failures[0]}")
+        return ("done", payload, None)
+
+    def _run_figures(self, execution: Execution) -> Outcome:
+        from ..figures.pipeline import derive_figures, execute_plan, plan_cells
+        from ..figures.registry import select_specs
+
+        params = execution.params
+        specs = select_specs(params["figures"])
+        groups = plan_cells(specs)
+        store, resume = self._open_store(execution.kind, execution.key)
+        with store:
+            reports = execute_plan(
+                groups, store,
+                length=params["length"],
+                seed=params["seed"],
+                warmup=params["warmup"],
+                resume=resume,
+                workers=self.sweep_workers,
+                timeout=self.timeout,
+                retries=self.retries,
+                hang_grace=self.hang_grace,
+                trace_cache=self.trace_cache,
+                observer=ExecutionObserver(execution.progress),
+                engine=params["engine"],
+                fidelity=params["fidelity"],
+                cancel=execution.cancel.is_set,
+            )
+            if execution.cancel.is_set():
+                return ("cancelled", None, "cancelled at a cell boundary")
+            artifacts, report_text, stored_failures = derive_figures(
+                specs, store,
+                length=params["length"], seed=params["seed"],
+                warmup=params["warmup"],
+            )
+        payload = {
+            "kind": "figures",
+            "params": dict(params),
+            "figures": [
+                {
+                    "fig_id": a.fig_id,
+                    "title": a.title,
+                    "passed": a.passed,
+                    "checks": [
+                        {"name": c.name, "passed": c.passed,
+                         "detail": c.detail}
+                        for c in a.checks
+                    ],
+                }
+                for a in artifacts
+            ],
+            "passed": stored_failures == 0 and all(a.passed for a in artifacts),
+            "report": report_text,
+            "executed": sum(r.executed for r in reports),
+            "replayed": sum(r.replayed for r in reports),
+            "failed_cells": stored_failures,
+        }
+        if stored_failures:
+            return ("failed", payload,
+                    f"{stored_failures} cell(s) failed during the campaign")
+        return ("done", payload, None)
+
+
+class WorkerPool:
+    """Threads that claim executions from the queue and run them.
+
+    *on_finish* is the daemon's journaling callback — it receives the
+    execution and the runner's outcome with the queue transitions
+    already applied.
+    """
+
+    def __init__(self, queue: JobQueue, runner: Callable[[Execution], Outcome],
+                 on_finish: Callable[[Execution, Outcome], None],
+                 *, slots: int = 2) -> None:
+        """Wire the pool; no threads start until :meth:`start`."""
+        self.queue = queue
+        self.runner = runner
+        self.on_finish = on_finish
+        self.slots = max(1, slots)
+        self._threads: List[threading.Thread] = []
+
+    def start(self) -> None:
+        """Spawn the worker threads (daemonic: never block exit)."""
+        for index in range(self.slots):
+            thread = threading.Thread(
+                target=self._worker, name=f"repro-worker-{index}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+
+    def _worker(self) -> None:
+        while True:
+            execution = self.queue.claim()
+            if execution is None:  # queue closed and drained
+                return
+            outcome = self.runner(execution)
+            self.on_finish(execution, outcome)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for every worker to exit; True when all did."""
+        deadline = None
+        if timeout is not None:
+            deadline = timeout
+        for thread in self._threads:
+            thread.join(deadline)
+        return not any(t.is_alive() for t in self._threads)

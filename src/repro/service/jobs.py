@@ -1,0 +1,391 @@
+"""Job model for the simulation gateway.
+
+Three things live here, all shared by the queue, the executor, and the
+HTTP front end:
+
+- **request normalization** (:func:`normalize_request`) — every
+  submission is validated and canonicalized *before* it is hashed or
+  queued, so malformed requests fail fast with
+  :class:`RequestError` (HTTP 400) and equivalent requests spelled
+  differently (``"all"`` vs. an explicit workload list, list vs.
+  comma-string) normalize to identical parameter dicts;
+- **idempotent job keys** (:func:`job_key`) — the sha256-derived digest
+  of the canonical request, computed with the same
+  :func:`~repro.common.config.config_digest` the
+  :class:`~repro.sim.store.RunStore` manifest uses, so two clients
+  asking the same question share one execution and one result;
+- **crash-safe job state** (:class:`JobJournal`) — an append-only
+  :class:`~repro.common.jsonl.JsonlJournal` of job snapshots
+  (last-wins per job id) that a restarted daemon replays to re-queue
+  in-flight work and keep serving completed results.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..common.config import config_digest
+from ..common.errors import ReproError
+from ..common.jsonl import JsonlJournal, LineIssue
+from ..sim.results import FIDELITIES
+from ..sim.sweep import CONFIG_PRESETS
+from ..traces.workloads import SPEC2000
+
+#: Journal schema version (bumped on incompatible record changes).
+JOB_VERSION = 1
+
+#: The job kinds the gateway accepts (one POST endpoint each).
+KINDS = ("sweep", "cell", "figures")
+
+#: Job lifecycle states; the last three are terminal.
+STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States a job never leaves once entered.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Engines a request may pin (results are engine-independent).
+_ENGINES = ("batch", "scalar")
+
+#: Hard caps protecting the daemon from absurd requests.
+MAX_LENGTH = 50_000_000
+
+
+class RequestError(ReproError):
+    """A malformed or unsatisfiable job request (mapped to HTTP 400)."""
+
+
+def _require_mapping(body: Any) -> Mapping[str, Any]:
+    if not isinstance(body, Mapping):
+        raise RequestError("request body must be a JSON object")
+    return body
+
+
+def _as_name_list(value: Any, what: str) -> List[str]:
+    """Coerce a list or comma-string of names; reject anything else."""
+    if isinstance(value, str):
+        names = [part.strip() for part in value.split(",") if part.strip()]
+    elif isinstance(value, (list, tuple)):
+        names = [str(part).strip() for part in value if str(part).strip()]
+    else:
+        raise RequestError(f"{what} must be a list or comma-separated string")
+    if not names:
+        raise RequestError(f"{what} must name at least one entry")
+    return names
+
+
+def _as_int(body: Mapping[str, Any], key: str, default: int,
+            *, minimum: int = 0, maximum: int = MAX_LENGTH) -> int:
+    value = body.get(key, default)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"{key} must be an integer")
+    if not (minimum <= value <= maximum):
+        raise RequestError(f"{key} must be between {minimum} and {maximum}")
+    return value
+
+
+def _check_workloads(names: List[str]) -> List[str]:
+    unknown = [n for n in names if n not in SPEC2000]
+    if unknown:
+        raise RequestError(
+            f"unknown workloads: {', '.join(unknown)} "
+            f"(choose from: {', '.join(SPEC2000)})")
+    return names
+
+
+def _check_configs(names: List[str]) -> List[str]:
+    unknown = [n for n in names if n not in CONFIG_PRESETS]
+    if unknown:
+        raise RequestError(
+            f"unknown configs: {', '.join(unknown)} "
+            f"(choose from: {', '.join(CONFIG_PRESETS)})")
+    return names
+
+
+def _common_params(body: Mapping[str, Any], *,
+                   default_length: int = 60_000,
+                   warmup_divisor: int = 3) -> Dict[str, Any]:
+    """Validate the knobs every kind shares (length/warmup/seed/...).
+
+    *warmup* is resolved here (``length // warmup_divisor`` when
+    absent, matching each front end's default) so the canonical params
+    — and therefore the idempotency key — are identical whether the
+    client spelled the default out or omitted it.
+    """
+    length = _as_int(body, "length", default_length, minimum=1)
+    warmup = body.get("warmup")
+    if warmup is None:
+        warmup = length // warmup_divisor
+    else:
+        if isinstance(warmup, bool) or not isinstance(warmup, int):
+            raise RequestError("warmup must be an integer or null")
+        if not (0 <= warmup <= MAX_LENGTH):
+            raise RequestError(f"warmup must be between 0 and {MAX_LENGTH}")
+    seed = _as_int(body, "seed", 0, minimum=0, maximum=2**31 - 1)
+    fidelity = body.get("fidelity", "exact")
+    if fidelity not in FIDELITIES:
+        raise RequestError(
+            f"unknown fidelity {fidelity!r} (choose from: "
+            f"{', '.join(FIDELITIES)})")
+    engine = body.get("engine", "batch")
+    if engine not in _ENGINES:
+        raise RequestError(
+            f"unknown engine {engine!r} (choose from: {', '.join(_ENGINES)})")
+    return {"length": length, "warmup": warmup, "seed": seed,
+            "fidelity": fidelity, "engine": engine}
+
+
+def _normalize_sweep(body: Mapping[str, Any]) -> Dict[str, Any]:
+    raw = body.get("workloads", "all")
+    if raw == "all" or raw == ["all"]:
+        workloads = list(SPEC2000)
+    else:
+        workloads = _check_workloads(_as_name_list(raw, "workloads"))
+    configs = _check_configs(
+        _as_name_list(body.get("configs", "base,victim_tk,pf_tk"), "configs"))
+    return {"workloads": workloads, "configs": configs,
+            **_common_params(body)}
+
+
+def _normalize_cell(body: Mapping[str, Any]) -> Dict[str, Any]:
+    workload = body.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise RequestError("cell jobs require a 'workload' string")
+    config = body.get("config", "base")
+    if not isinstance(config, str):
+        raise RequestError("config must be a string")
+    _check_workloads([workload])
+    _check_configs([config])
+    return {"workload": workload, "config": config, **_common_params(body)}
+
+
+def _normalize_figures(body: Mapping[str, Any]) -> Dict[str, Any]:
+    from ..figures.pipeline import FULL_LENGTH, SMOKE_LENGTH
+    from ..figures.registry import REGISTRY
+
+    raw = body.get("figures", "all")
+    if raw == "all" or raw == ["all"]:
+        figures: Optional[List[str]] = None
+    else:
+        figures = _as_name_list(raw, "figures")
+        unknown = [f for f in figures if f not in REGISTRY]
+        if unknown:
+            raise RequestError(
+                f"unknown figures: {', '.join(unknown)} "
+                f"(choose from: {', '.join(REGISTRY)})")
+    smoke = body.get("smoke", True)
+    if not isinstance(smoke, bool):
+        raise RequestError("smoke must be a boolean")
+    # Figure campaigns use the paper pipeline's scale and warmup
+    # defaults (length // 2), not the sweep defaults.
+    default_length = SMOKE_LENGTH if smoke else FULL_LENGTH
+    params = _common_params(body, default_length=default_length,
+                            warmup_divisor=2)
+    return {"figures": figures, "smoke": smoke, **params}
+
+
+def normalize_request(kind: str, body: Any) -> Dict[str, Any]:
+    """Validate and canonicalize a submission body for *kind*.
+
+    Returns the canonical parameter dict that :func:`job_key` hashes
+    and the executor runs.  Raises :class:`RequestError` (HTTP 400) on
+    any malformed field — nothing invalid ever reaches the queue or
+    the journal.
+    """
+    body = _require_mapping(body)
+    if kind == "sweep":
+        return _normalize_sweep(body)
+    if kind == "cell":
+        return _normalize_cell(body)
+    if kind == "figures":
+        return _normalize_figures(body)
+    raise RequestError(
+        f"unknown job kind {kind!r} (choose from: {', '.join(KINDS)})")
+
+
+def job_key(kind: str, params: Mapping[str, Any]) -> str:
+    """Idempotency key: digest of the canonical request identity.
+
+    Uses the same :func:`~repro.common.config.config_digest` canonical
+    JSON hashing as the :class:`~repro.sim.store.RunStore` manifest, so
+    the key is stable across processes and restarts.  ``engine`` is
+    excluded — results are engine-independent, so pinning an engine
+    must not defeat dedupe.  ``priority`` never enters ``params`` at
+    all (it orders the queue; it does not change the answer).
+    """
+    identity = {k: v for k, v in params.items() if k != "engine"}
+    return config_digest({"kind": kind, **identity})
+
+
+@dataclass
+class Job:
+    """One submitted job and everything the API reports about it."""
+
+    id: str
+    key: str
+    kind: str
+    params: Dict[str, Any]
+    priority: int = 0
+    state: str = "queued"
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: Result payload once ``done`` (or partial results on ``failed``).
+    result: Optional[Dict[str, Any]] = None
+    #: One-line failure/cancellation reason for terminal non-done states.
+    error: Optional[str] = None
+    #: True when this job attached to an execution (or cached result)
+    #: created by an earlier submission with the same key.
+    deduped: bool = False
+    #: Times this job has been (re-)queued; >1 after a daemon restart
+    #: re-queued work that was in flight when the process died.
+    attempts: int = 1
+    #: Live progress mirror (cells_total/cells_done/cells_failed), fed
+    #: by the executor's :class:`~repro.obs.progress.SweepObserver`.
+    progress: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def create(cls, kind: str, params: Dict[str, Any],
+               *, priority: int = 0) -> "Job":
+        """Mint a new queued job with a fresh id and its idempotency key."""
+        return cls(id=uuid.uuid4().hex[:12], key=job_key(kind, params),
+                   kind=kind, params=params, priority=priority,
+                   submitted_at=time.time())
+
+    def to_record(self) -> Dict[str, Any]:
+        """Journal snapshot of the current state (last-wins per id)."""
+        return {
+            "kind": "job", "version": JOB_VERSION, "id": self.id,
+            "key": self.key, "job_kind": self.kind, "params": self.params,
+            "priority": self.priority, "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at, "finished_at": self.finished_at,
+            "result": self.result, "error": self.error,
+            "deduped": self.deduped, "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_record(cls, record: Mapping[str, Any]) -> "Job":
+        """Rebuild a job from a journal snapshot (inverse of to_record)."""
+        return cls(
+            id=str(record["id"]), key=str(record["key"]),
+            kind=str(record["job_kind"]), params=dict(record["params"]),
+            priority=int(record.get("priority", 0)),
+            state=str(record.get("state", "queued")),
+            submitted_at=float(record.get("submitted_at", 0.0)),
+            started_at=record.get("started_at"),
+            finished_at=record.get("finished_at"),
+            result=record.get("result"), error=record.get("error"),
+            deduped=bool(record.get("deduped", False)),
+            attempts=int(record.get("attempts", 1)),
+        )
+
+    def to_public(self, *, include_result: bool = False) -> Dict[str, Any]:
+        """The JSON shape ``GET /v1/jobs/<id>`` returns."""
+        out = {
+            "id": self.id, "key": self.key, "kind": self.kind,
+            "params": self.params, "priority": self.priority,
+            "state": self.state, "submitted_at": self.submitted_at,
+            "started_at": self.started_at, "finished_at": self.finished_at,
+            "deduped": self.deduped, "attempts": self.attempts,
+            "progress": dict(self.progress), "error": self.error,
+        }
+        if include_result:
+            out["result"] = self.result
+        return out
+
+
+@dataclass
+class JobLoadReport:
+    """What :meth:`JobJournal.start` recovered from disk."""
+
+    #: Latest snapshot per job id, in first-seen order.
+    jobs: Dict[str, Job] = field(default_factory=dict)
+    #: Unusable lines (quarantined to the sidecar by ``start``).
+    issues: List[LineIssue] = field(default_factory=list)
+    #: A torn final line (tolerated: the crash interrupted an append).
+    torn_tail: Optional[LineIssue] = None
+
+
+class JobJournal(JsonlJournal):
+    """Crash-safe job-state journal (one JSONL snapshot per transition).
+
+    The daemon holds the journal (and its advisory writer lock) for its
+    whole lifetime — the lock is what stops two daemons from sharing a
+    data directory.  Appends are fsynced, so a job acknowledged to a
+    client survives ``kill -9``; on restart :meth:`start` replays the
+    file, quarantines corrupt lines, tolerates one torn tail, and hands
+    back the latest snapshot of every job.
+    """
+
+    lock_hint = "is another `repro serve` daemon using this data dir?"
+
+    def start(self) -> JobLoadReport:
+        """Lock, replay, heal, and open the journal for appending."""
+        self._acquire_lock()
+        try:
+            report = self._replay()
+            if report.issues:
+                self._quarantine_issues(report.issues)
+                keep = [job.to_record() for job in report.jobs.values()]
+                self._atomic_rewrite(keep)
+            self._open_append()
+            return report
+        except BaseException:
+            self._release_lock()
+            raise
+
+    def _replay(self) -> JobLoadReport:
+        """Parse the journal: last snapshot wins per job id."""
+        report = JobLoadReport()
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except FileNotFoundError:
+            return report
+        for lineno, line in enumerate(lines, start=1):
+            text = line.rstrip("\n")
+            if not text.strip():
+                continue
+            issue = None
+            try:
+                record = json.loads(text)
+                if not isinstance(record, dict) or record.get("kind") != "job":
+                    issue = LineIssue(lineno, "not a job record", text)
+                elif record.get("version") != JOB_VERSION:
+                    issue = LineIssue(
+                        lineno, f"unsupported version {record.get('version')!r}",
+                        text)
+                else:
+                    job = Job.from_record(record)
+            except (ValueError, KeyError, TypeError) as exc:
+                issue = LineIssue(lineno, f"unparsable: {exc}", text)
+            if issue is not None:
+                # A damaged final line is the signature of a crash mid-
+                # append; tolerate it.  Damage anywhere else is corruption.
+                if lineno == len(lines):
+                    report.torn_tail = issue
+                else:
+                    report.issues.append(issue)
+                continue
+            report.jobs[job.id] = job
+        return report
+
+    def append_job(self, job: Job) -> None:
+        """Durably append *job*'s current snapshot (fsynced)."""
+        data = json.dumps(job.to_record(), separators=(",", ":")) + "\n"
+        self._append_bytes(data.encode("utf-8"))
+
+
+def sort_key(job: Job) -> Tuple[float, float]:
+    """Queue ordering: higher priority first, then submission order."""
+    return (-job.priority, job.submitted_at)
+
+
+#: Re-exported so executor/daemon code can share one Event-per-execution
+#: idiom without importing :mod:`threading` everywhere.
+CancelEvent = threading.Event

@@ -1,0 +1,252 @@
+"""Priority job queue with idempotent dedupe.
+
+The queue is the daemon's concurrency heart: every structure here is
+guarded by one lock, shared by the asyncio gateway (submissions,
+status reads, cancellations) and the worker threads (claiming and
+finishing executions).
+
+Dedupe model — three outcomes for a submission, keyed by
+:func:`~repro.service.jobs.job_key`:
+
+- ``"queued"`` — no live or completed work under this key: a new
+  :class:`Execution` enters the priority heap;
+- ``"attached"`` — an execution with this key is queued or running:
+  the job rides along and shares its eventual result (one execution,
+  N completed jobs);
+- ``"cached"`` — a previous execution with this key already finished
+  successfully: the job completes instantly with the shared result.
+  Results are derived deterministically from the canonical request, so
+  a cached answer can never be stale.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .jobs import TERMINAL_STATES, Job, sort_key
+
+
+@dataclass
+class Execution:
+    """One unit of actual work; one or more jobs share it."""
+
+    key: str
+    kind: str
+    params: Dict[str, Any]
+    jobs: List[Job] = field(default_factory=list)
+    #: Set when every attached job has been cancelled; the executor
+    #: polls it between cells (via ``run_sweep``'s *cancel* hook).
+    cancel: threading.Event = field(default_factory=threading.Event)
+    #: Live progress dict shared with every attached job.
+    progress: Dict[str, Any] = field(default_factory=dict)
+    claimed: bool = False
+
+    @property
+    def priority(self) -> int:
+        """Effective priority: the highest across attached jobs."""
+        live = [j.priority for j in self.jobs if j.state in ("queued", "running")]
+        return max(live) if live else 0
+
+    def live_jobs(self) -> List[Job]:
+        """Attached jobs that still await this execution's outcome."""
+        return [j for j in self.jobs if j.state not in TERMINAL_STATES]
+
+
+class JobQueue:
+    """Thread-safe priority queue + registry of jobs and executions."""
+
+    def __init__(self) -> None:
+        """Create an empty queue (open for submissions)."""
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._heap: List[Tuple[int, int, str]] = []  # (-priority, seq, key)
+        self._seq = 0
+        self._executions: Dict[str, Execution] = {}
+        self._jobs: Dict[str, Job] = {}
+        #: Latest successfully-completed job per key (the result cache).
+        self._done_by_key: Dict[str, Job] = {}
+        self._closed = False
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(self, job: Job) -> str:
+        """Register *job*; returns ``queued``/``attached``/``cached``.
+
+        ``cached`` jobs come back already terminal (state ``done``,
+        result populated); the caller journals them but never runs
+        anything.
+        """
+        with self._wakeup:
+            if self._closed:
+                raise RuntimeError("queue is closed (daemon is draining)")
+            self._jobs[job.id] = job
+            cached = self._done_by_key.get(job.key)
+            if cached is not None and cached.result is not None:
+                job.state = "done"
+                job.deduped = True
+                job.result = cached.result
+                job.started_at = job.finished_at = time.time()
+                job.progress = dict(cached.progress)
+                return "cached"
+            execution = self._executions.get(job.key)
+            if execution is not None and execution.live_jobs():
+                execution.jobs.append(job)
+                job.deduped = True
+                job.progress = execution.progress
+                if job.state == "queued" and any(
+                        j.state == "running" for j in execution.jobs):
+                    job.state = "running"
+                    job.started_at = time.time()
+                return "attached"
+            execution = Execution(key=job.key, kind=job.kind,
+                                  params=dict(job.params), jobs=[job])
+            job.progress = execution.progress
+            self._executions[job.key] = execution
+            self._push(execution)
+            self._wakeup.notify()
+            return "queued"
+
+    def _push(self, execution: Execution) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (-execution.priority, self._seq,
+                                    execution.key))
+
+    # -- worker side ---------------------------------------------------------
+
+    def claim(self, timeout: Optional[float] = None) -> Optional[Execution]:
+        """Block for the next execution; None on timeout or queue close.
+
+        Marks every attached queued job ``running`` (the caller
+        journals the transitions).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._wakeup:
+            while True:
+                while self._heap:
+                    _, _, key = heapq.heappop(self._heap)
+                    execution = self._executions.get(key)
+                    if execution is None or execution.claimed:
+                        continue
+                    live = execution.live_jobs()
+                    if not live:  # every rider cancelled while queued
+                        del self._executions[key]
+                        continue
+                    execution.claimed = True
+                    now = time.time()
+                    for job in live:
+                        job.state = "running"
+                        job.started_at = now
+                    return execution
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._wakeup.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._wakeup.wait(remaining)
+
+    def finish(self, execution: Execution, state: str,
+               *, result: Optional[Dict[str, Any]] = None,
+               error: Optional[str] = None) -> List[Job]:
+        """Complete an execution; returns the jobs that transitioned.
+
+        Every still-live attached job moves to *state* and shares
+        *result*/*error*.  A ``done`` outcome also enters the result
+        cache so later identical submissions are served instantly.
+        """
+        with self._wakeup:
+            now = time.time()
+            transitioned = []
+            for job in execution.live_jobs():
+                job.state = state
+                job.finished_at = now
+                job.result = result
+                job.error = error
+                job.progress = dict(execution.progress)
+                transitioned.append(job)
+            if self._executions.get(execution.key) is execution:
+                del self._executions[execution.key]
+            if state == "done" and result is not None and transitioned:
+                self._done_by_key[execution.key] = transitioned[0]
+            return transitioned
+
+    # -- client side ---------------------------------------------------------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """Look up one job by id."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every known job, queue order (priority, then submission)."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=sort_key)
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel one job; returns it, or None if unknown.
+
+        A terminal job is returned unchanged (cancellation is a no-op).
+        The underlying execution keeps running while *any* attached job
+        still wants the answer; when the last rider cancels, the
+        execution's cancel event fires and ``run_sweep`` stops at the
+        next cell boundary (the per-key store keeps completed cells, so
+        nothing already simulated is lost).
+        """
+        with self._wakeup:
+            job = self._jobs.get(job_id)
+            if job is None or job.state in TERMINAL_STATES:
+                return job
+            job.state = "cancelled"
+            job.finished_at = time.time()
+            job.error = "cancelled by client"
+            execution = self._executions.get(job.key)
+            if execution is not None and not execution.live_jobs():
+                execution.cancel.set()
+            return job
+
+    def peek(self, key: str) -> Optional[str]:
+        """What a submission under *key* would hit: cached/live/None.
+
+        The daemon uses this to skip inline serving when an identical
+        request already has an answer (or one in flight) — dedupe
+        always beats recomputation, however cheap.
+        """
+        with self._lock:
+            cached = self._done_by_key.get(key)
+            if cached is not None and cached.result is not None:
+                return "cached"
+            execution = self._executions.get(key)
+            if execution is not None and execution.live_jobs():
+                return "live"
+            return None
+
+    def restore(self, job: Job) -> None:
+        """Load a terminal job recovered from the journal (no execution)."""
+        with self._lock:
+            self._jobs[job.id] = job
+            if job.state == "done" and job.result is not None:
+                self._done_by_key.setdefault(job.key, job)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def depth(self) -> Dict[str, int]:
+        """Queue gauges for /v1/metrics: jobs per state + executions."""
+        with self._lock:
+            counts = {state: 0 for state in
+                      ("queued", "running", "done", "failed", "cancelled")}
+            for job in self._jobs.values():
+                counts[job.state] = counts.get(job.state, 0) + 1
+            counts["executions"] = len(self._executions)
+            return counts
+
+    def close(self) -> None:
+        """Stop accepting submissions and wake every blocked worker."""
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()

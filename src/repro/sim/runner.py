@@ -952,6 +952,7 @@ def run_sweep(
     fidelity: str = "exact",
     profile: Optional[str] = None,
     obs_history: Union[None, bool, str, "os.PathLike[str]", "ObsStore"] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> SweepReport:
     """Run a workload×config sweep fault-tolerantly.
 
@@ -1055,6 +1056,14 @@ def run_sweep(
             variable is set.  Appends are best-effort: a locked or
             unwritable history warns on stderr instead of failing a
             completed sweep.  Implies telemetry collection.
+        cancel: cooperative cancellation probe, polled at every cell
+            boundary.  When it returns True the sweep stops scheduling
+            work, kills in-flight workers, and returns with
+            ``report.aborted`` set (reason ``"cancelled"``) — exactly
+            the circuit-breaker shutdown path, so completed cells stay
+            recorded and a later resume finishes the campaign.  This is
+            what lets a long-lived service (``repro serve``) cancel a
+            running job without losing its partial results.
 
     Returns:
         A :class:`SweepReport`; failed cells appear in ``report.failures``
@@ -1260,6 +1269,9 @@ def run_sweep(
 
         execute_start = time.time()
         t0 = time.monotonic()
+        cancelled_early = cancel is not None and cancel()
+        if cancelled_early:
+            to_run = []  # cancelled before any cell was scheduled
         if not to_run:
             engine: Iterator[_CellDone] = iter(())
         elif timeout is not None or hang_grace is not None:
@@ -1276,8 +1288,8 @@ def run_sweep(
         completed: Dict[CellKey, SimulationResult] = dict(replayed)
         failures: List[CellFailure] = list(poisoned)
         fresh_failures = 0
-        aborted = False
-        abort_reason = ""
+        aborted = cancelled_early
+        abort_reason = "cancelled before any cell was scheduled" if cancelled_early else ""
         attempts: Dict[CellKey, int] = {}
         cell_telemetry: Dict[CellKey, Dict[str, Any]] = {}
         for spec, outcome, cell_attempts, elapsed in engine:
@@ -1325,6 +1337,23 @@ def run_sweep(
                     elapsed,
                     counters=(cell_telemetry.get(spec.key) or {}).get("counters"),
                 )
+            if cancel is not None and cancel():
+                aborted = True
+                abort_reason = (
+                    f"cancelled after {len(completed) - len(replayed)} of "
+                    f"{len(to_run)} scheduled cells"
+                )
+                parent_tele.count("sweep.cancelled")
+                logger.event(
+                    "sweep.cancelled", done=len(completed) - len(replayed),
+                    to_run=len(to_run),
+                )
+                # Same shutdown path as the circuit breaker: close the
+                # engine generator so in-flight workers are killed and
+                # nothing else is scheduled; completed cells are already
+                # in the store, so a resume finishes the campaign.
+                engine.close()
+                break
             if (
                 max_failure_rate is not None
                 and fresh_failures > max_failure_rate * len(cells)

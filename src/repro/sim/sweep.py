@@ -24,6 +24,22 @@ from .store import RunStore
 #: (e.g. ``{"victim_filter": "timekeeping"}``).
 SimConfig = Mapping[str, object]
 
+#: Named configuration presets shared by every front end (``repro
+#: sweep``/``compare`` and the service gateway), so a sweep submitted
+#: over HTTP resolves to exactly the same simulator arguments as the
+#: same sweep run from the CLI.
+CONFIG_PRESETS: Dict[str, Dict[str, object]] = {
+    "base": {},
+    "perfect": {"perfect_non_cold": True},
+    "victim": {"victim_filter": "unfiltered"},
+    "victim_collins": {"victim_filter": "collins"},
+    "victim_tk": {"victim_filter": "timekeeping"},
+    "victim_adaptive": {"victim_filter": "adaptive"},
+    "pf_tk": {"prefetcher": "timekeeping"},
+    "pf_dbcp": {"prefetcher": "dbcp"},
+    "pf_stride": {"prefetcher": "stride"},
+}
+
 
 def run_workload(
     name: str,

@@ -40,9 +40,18 @@ class TestObsCheck:
                      "--tolerance", "50"]) == 0
 
     def test_empty_history_is_clean_error(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        assert main(["obs", "check", "--history", str(empty)]) == 1
+        assert "no records" in capsys.readouterr().err
+
+    def test_missing_history_is_clean_error(self, capsys, tmp_path):
         assert main(["obs", "check", "--history",
                      str(tmp_path / "absent.jsonl")]) == 1
-        assert "no records" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "error: history not found" in err
+        assert "--obs-history" in err  # tells the user how to create one
+        assert "Traceback" not in err
 
     def test_history_env_fallback(self, capsys, tmp_path, monkeypatch):
         path = _seed_history(tmp_path / "h.jsonl", [100.0] * 3)
@@ -86,13 +95,20 @@ class TestObsReportExportList:
         assert "sweep" in out and "digest0" in out
 
     def test_list_empty_history(self, capsys, tmp_path):
-        assert main(["obs", "list", "--history",
-                     str(tmp_path / "absent.jsonl")]) == 0
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        assert main(["obs", "list", "--history", str(empty)]) == 0
         assert "no runs recorded" in capsys.readouterr().out
 
-    def test_export_empty_history_fails(self, capsys, tmp_path):
-        assert main(["obs", "export", "--history",
+    def test_list_missing_history_is_clean_error(self, capsys, tmp_path):
+        assert main(["obs", "list", "--history",
                      str(tmp_path / "absent.jsonl")]) == 1
+        assert "error: history not found" in capsys.readouterr().err
+
+    def test_export_empty_history_fails(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        assert main(["obs", "export", "--history", str(empty)]) == 1
 
 
 class TestSweepObservatoryFlags:

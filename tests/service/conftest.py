@@ -1,0 +1,45 @@
+"""Shared fixtures: an in-process gateway on an ephemeral port."""
+
+import threading
+
+import pytest
+
+from repro.service import DaemonConfig, ServiceClient, ServiceDaemon
+
+
+class LiveDaemon:
+    """A daemon running on a background thread plus a bound client."""
+
+    def __init__(self, tmp_path, **overrides):
+        defaults = dict(
+            host="127.0.0.1", port=0,
+            data_dir=str(tmp_path / "service-data"),
+            trace_cache=str(tmp_path / "trace-cache"),
+            slots=2, drain_grace=10.0,
+        )
+        defaults.update(overrides)
+        self.config = DaemonConfig(**defaults)
+        self.daemon = ServiceDaemon(self.config)
+        self.client = None
+        self._thread = None
+
+    def start(self):
+        ready = threading.Event()
+        bound = {}
+
+        def on_ready(host, port):
+            bound["url"] = f"http://{host}:{port}"
+            ready.set()
+
+        self._thread = threading.Thread(
+            target=self.daemon.run, kwargs={"ready": on_ready}, daemon=True)
+        self._thread.start()
+        assert ready.wait(15), "daemon did not come up"
+        self.client = ServiceClient(bound["url"], timeout=30)
+        return self
+
+
+@pytest.fixture
+def live(tmp_path):
+    """A started daemon + client; torn down best-effort (thread is daemonic)."""
+    return LiveDaemon(tmp_path).start()

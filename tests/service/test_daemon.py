@@ -1,0 +1,181 @@
+"""End-to-end gateway tests over real HTTP on an ephemeral port."""
+
+import threading
+
+import pytest
+
+from repro.obs.sentinel import validate_prometheus
+from repro.service import ServiceError
+from repro.sim.runner import run_sweep
+from repro.sim.sweep import CONFIG_PRESETS
+
+SWEEP = {"workloads": "art,mcf", "configs": "base,victim_tk", "length": 2000}
+
+
+def _direct_cells(trace_cache, *, length=2000):
+    report = run_sweep(
+        {name: dict(CONFIG_PRESETS[name]) for name in ("base", "victim_tk")},
+        workloads=["art", "mcf"], length=length, warmup=length // 3, seed=0,
+        trace_cache=trace_cache)
+    return {
+        workload: {config: result.to_dict()
+                   for config, result in row.items()}
+        for workload, row in report.results.items()
+    }
+
+
+class TestEndToEnd:
+    def test_http_sweep_equals_direct_run_sweep(self, live):
+        response = live.client.submit("sweep", dict(SWEEP))
+        assert response["outcome"] == "queued"
+        job = live.client.wait(response["job"]["id"], timeout=300)
+        assert job["state"] == "done"
+        assert job["progress"]["cells_done"] == 4
+        result = live.client.result(job["id"])["result"]
+        assert result["cells"] == _direct_cells(live.config.trace_cache)
+
+    def test_concurrent_identical_submissions_share_one_execution(self, live):
+        responses = [None, None]
+
+        def post(slot):
+            responses[slot] = live.client.submit("sweep", dict(SWEEP))
+
+        threads = [threading.Thread(target=post, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        jobs = [live.client.wait(r["job"]["id"], timeout=300)
+                for r in responses]
+        assert all(j["state"] == "done" for j in jobs)
+        assert jobs[0]["key"] == jobs[1]["key"]
+        # exactly one of the two did the work
+        assert sorted(j["deduped"] for j in jobs) == [False, True]
+        results = [live.client.result(j["id"])["result"] for j in jobs]
+        assert results[0]["cells"] == results[1]["cells"]
+        # telemetry proves no second execution happened
+        counters = live.daemon.telemetry.counters
+        assert counters.get("service.jobs.deduped", 0) \
+            + counters.get("service.jobs.cache_hits", 0) >= 1
+        assert counters.get("service.executions.done") == 1
+
+    def test_resubmit_after_completion_is_a_cache_hit(self, live):
+        first = live.client.submit("sweep", dict(SWEEP))
+        live.client.wait(first["job"]["id"], timeout=300)
+        again = live.client.submit("sweep", dict(SWEEP))
+        assert again["outcome"] == "cached"
+        assert again["job"]["state"] == "done"
+        assert live.daemon.telemetry.counters["service.jobs.cache_hits"] == 1
+        assert live.daemon.telemetry.counters["service.executions.done"] == 1
+        cells = live.client.result(again["job"]["id"])["result"]["cells"]
+        assert cells == _direct_cells(live.config.trace_cache)
+
+    def test_cell_job_and_warm_analytical_inline(self, live):
+        from repro.common.config import paper_machine
+        from repro.traces.cache import TraceCache
+
+        body = {"workload": "art", "config": "base", "length": 2000,
+                "fidelity": "analytical"}
+        cold = live.client.submit("cell", body)
+        assert cold["outcome"] == "queued"  # profile not warm yet
+        done = live.client.wait(cold["job"]["id"], timeout=300)
+        assert done["state"] == "done"
+        # warm the profile for a different seed out-of-band, then the
+        # same request is served synchronously from the open connection
+        cache = TraceCache(root=live.config.trace_cache)
+        cache.get_or_build_reuse_profile(
+            "art", 2000 + 666, 5, warmup=666, machine=paper_machine())
+        inline = live.client.submit("cell", dict(body, seed=5))
+        assert inline["outcome"] == "inline"
+        assert inline["job"]["state"] == "done"
+        assert inline["job"]["id"] is not None
+        result = live.client.result(inline["job"]["id"])["result"]
+        assert result["inline"] and result["result"]["fidelity"] == "analytical"
+
+    def test_cancel_queued_job(self, live):
+        # saturate both slots so a third job stays queued long enough
+        blockers = [
+            live.client.submit("sweep", {"workloads": "all", "configs": "base",
+                                         "length": 4000, "seed": seed})
+            for seed in (11, 12)
+        ]
+        victim = live.client.submit(
+            "sweep", {"workloads": "all", "configs": "base", "length": 4000,
+                      "seed": 13, "priority": -10})
+        cancelled = live.client.cancel(victim["job"]["id"])
+        assert cancelled["state"] == "cancelled"
+        final = live.client.wait(victim["job"]["id"], timeout=60)
+        assert final["state"] == "cancelled"
+        # result endpoint serves the terminal job without a payload
+        job = live.client.result(victim["job"]["id"])
+        assert job["state"] == "cancelled" and job["result"] is None
+        for blocker in blockers:
+            live.client.wait(blocker["job"]["id"], timeout=600)
+
+
+class TestApiSurface:
+    def test_healthz(self, live):
+        health = live.client.healthz()
+        assert health["status"] == "ok"
+        assert "queue" in health
+
+    def test_metrics_is_valid_exposition(self, live):
+        live.client.submit("cell", {"workload": "art", "length": 1000})
+        text = live.client.metrics()
+        assert validate_prometheus(text) == []
+        assert "repro_service_jobs_submitted" in text
+
+    def test_unknown_job_is_404(self, live):
+        with pytest.raises(ServiceError) as err:
+            live.client.job("doesnotexist")
+        assert err.value.status == 404
+
+    def test_bad_request_is_400(self, live):
+        with pytest.raises(ServiceError) as err:
+            live.client.submit("sweep", {"workloads": "bogus"})
+        assert err.value.status == 400
+        assert "unknown workloads" in str(err.value)
+
+    def test_wrong_method_is_405_and_unknown_path_404(self, live):
+        with pytest.raises(ServiceError) as err:
+            live.client.request("PATCH", "/v1/jobs/xyz")
+        assert err.value.status == 405
+        with pytest.raises(ServiceError) as err:
+            live.client.request("GET", "/v1/wat")
+        assert err.value.status == 404
+
+    def test_submit_while_draining_is_503(self, live):
+        live.daemon._draining = True
+        try:
+            with pytest.raises(ServiceError) as err:
+                live.client.submit("cell", {"workload": "art", "length": 1000})
+            assert err.value.status == 503
+            assert "draining" in str(err.value)
+        finally:
+            live.daemon._draining = False
+
+    def test_result_of_running_job_is_409(self, live):
+        submitted = live.client.submit(
+            "sweep", {"workloads": "all", "configs": "base", "length": 6000})
+        with pytest.raises(ServiceError) as err:
+            live.client.result(submitted["job"]["id"])
+        assert err.value.status == 409
+        live.client.wait(submitted["job"]["id"], timeout=600)
+
+    def test_every_route_is_reachable(self, live):
+        """Walk ROUTES: no endpoint may 404 when hit with its own method."""
+        from repro.service.gateway import ROUTES
+
+        submitted = live.client.submit("cell", {"workload": "art",
+                                                "length": 1000})
+        job_id = submitted["job"]["id"]
+        live.client.wait(job_id, timeout=300)
+        for method, pattern, _handler, _summary in ROUTES:
+            path = pattern.replace("<id>", job_id)
+            if method == "POST":
+                body = {"workload": "art", "workloads": "art",
+                        "length": 1000, "figures": "fig01"}
+                response = live.client.request(method, path, body)
+            else:
+                response = live.client.request(method, path)
+            assert response is not None

@@ -1,0 +1,175 @@
+"""Job model: normalization, idempotency keys, journal recovery."""
+
+import json
+
+import pytest
+
+from repro.service.jobs import (Job, JobJournal, RequestError, job_key,
+                                normalize_request)
+
+
+class TestNormalization:
+    def test_sweep_defaults(self):
+        params = normalize_request("sweep", {})
+        assert params["configs"] == ["base", "victim_tk", "pf_tk"]
+        assert params["length"] == 60_000
+        assert params["warmup"] == 20_000  # resolved, not None
+        assert params["fidelity"] == "exact"
+        assert len(params["workloads"]) == 22
+
+    def test_list_and_comma_string_spellings_agree(self):
+        a = normalize_request("sweep", {"workloads": "art, mcf",
+                                        "configs": ["base"]})
+        b = normalize_request("sweep", {"workloads": ["art", "mcf"],
+                                        "configs": "base"})
+        assert a == b
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(RequestError, match="unknown workloads: bogus"):
+            normalize_request("sweep", {"workloads": "bogus"})
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(RequestError, match="unknown configs"):
+            normalize_request("sweep", {"configs": "no_such"})
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(RequestError, match="unknown fidelity"):
+            normalize_request("sweep", {"fidelity": "psychic"})
+
+    def test_non_object_body_rejected(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            normalize_request("sweep", [1, 2, 3])
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(RequestError, match="length"):
+            normalize_request("sweep", {"length": "lots"})
+        with pytest.raises(RequestError, match="length"):
+            normalize_request("sweep", {"length": 0})
+
+    def test_cell_requires_workload(self):
+        with pytest.raises(RequestError, match="workload"):
+            normalize_request("cell", {})
+        params = normalize_request("cell", {"workload": "art"})
+        assert params["config"] == "base"
+
+    def test_figures_smoke_scale_default(self):
+        smoke = normalize_request("figures", {})
+        full = normalize_request("figures", {"smoke": False})
+        assert smoke["smoke"] and smoke["length"] == 4_000
+        assert not full["smoke"] and full["length"] == 60_000
+        assert smoke["warmup"] == 2_000  # paper pipeline's length // 2
+
+    def test_figures_unknown_handle_rejected(self):
+        with pytest.raises(RequestError, match="unknown figures"):
+            normalize_request("figures", {"figures": "fig99"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(RequestError, match="unknown job kind"):
+            normalize_request("ritual", {})
+
+
+class TestJobKey:
+    def test_key_ignores_engine_but_not_results_inputs(self):
+        base = normalize_request("sweep", {"workloads": "art", "length": 2000})
+        scalar = normalize_request(
+            "sweep", {"workloads": "art", "length": 2000, "engine": "scalar"})
+        other_seed = normalize_request(
+            "sweep", {"workloads": "art", "length": 2000, "seed": 7})
+        assert job_key("sweep", base) == job_key("sweep", scalar)
+        assert job_key("sweep", base) != job_key("sweep", other_seed)
+
+    def test_key_distinguishes_kinds(self):
+        sweep = normalize_request("sweep", {"workloads": "art"})
+        cell = normalize_request("cell", {"workload": "art"})
+        assert job_key("sweep", sweep) != job_key("cell", cell)
+
+    def test_default_and_explicit_warmup_share_a_key(self):
+        implicit = normalize_request("sweep", {"workloads": "art",
+                                               "length": 3000})
+        explicit = normalize_request(
+            "sweep", {"workloads": "art", "length": 3000, "warmup": 1000})
+        assert job_key("sweep", implicit) == job_key("sweep", explicit)
+
+
+class TestJobRecord:
+    def test_round_trip(self):
+        params = normalize_request("cell", {"workload": "art"})
+        job = Job.create("cell", params, priority=3)
+        job.state = "done"
+        job.result = {"answer": 42}
+        back = Job.from_record(json.loads(json.dumps(job.to_record())))
+        assert back == job
+
+    def test_public_shape_hides_result_by_default(self):
+        job = Job.create("sweep", normalize_request("sweep", {}))
+        job.result = {"big": "payload"}
+        assert "result" not in job.to_public()
+        assert job.to_public(include_result=True)["result"] == {"big": "payload"}
+
+
+class TestJobJournal:
+    def _job(self, state="queued"):
+        job = Job.create("cell", normalize_request("cell", {"workload": "art"}))
+        job.state = state
+        return job
+
+    def test_last_wins_per_id(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        job = self._job()
+        with journal:
+            journal.start()
+            journal.append_job(job)
+            job.state = "running"
+            journal.append_job(job)
+            job.state = "done"
+            job.result = {"ok": True}
+            journal.append_job(job)
+        with journal:
+            recovered = journal.start().jobs
+        assert recovered[job.id].state == "done"
+        assert recovered[job.id].result == {"ok": True}
+
+    def test_torn_tail_is_tolerated(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        job = self._job()
+        with journal:
+            journal.start()
+            journal.append_job(job)
+        with open(journal.path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "job", "version": 1, "id": "torn')
+        with journal:
+            report = journal.start()
+        assert report.torn_tail is not None
+        assert list(report.jobs) == [job.id]
+
+    def test_mid_file_corruption_is_quarantined(self, tmp_path):
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        first, second = self._job(), self._job()
+        with journal:
+            journal.start()
+            journal.append_job(first)
+            journal.append_job(second)
+        lines = open(journal.path, encoding="utf-8").read().splitlines()
+        lines[0] = "%% not json %%"
+        with open(journal.path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with journal:
+            report = journal.start()
+        assert [i.reason for i in report.issues]
+        assert list(report.jobs) == [second.id]
+        # the bad line was preserved, not dropped
+        quarantined = open(journal.quarantine_path, encoding="utf-8").read()
+        assert "not json" in quarantined
+        # and the journal itself was compacted back to valid lines
+        with journal:
+            assert list(journal.start().jobs) == [second.id]
+
+    def test_second_daemon_is_locked_out(self, tmp_path):
+        from repro.common.errors import StoreLockedError
+
+        journal = JobJournal(tmp_path / "jobs.jsonl")
+        with journal:
+            journal.start()
+            other = JobJournal(tmp_path / "jobs.jsonl")
+            with pytest.raises(StoreLockedError, match="another writer"):
+                other.start()

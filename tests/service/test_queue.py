@@ -1,0 +1,133 @@
+"""Queue semantics: priority, dedupe attachment, caching, cancellation."""
+
+from repro.service.jobs import Job, normalize_request
+from repro.service.queue import JobQueue
+
+
+def _job(priority=0, **body):
+    body.setdefault("workloads", "art")
+    params = normalize_request("sweep", body)
+    return Job.create("sweep", params, priority=priority)
+
+
+class TestPriority:
+    def test_higher_priority_claims_first(self):
+        queue = JobQueue()
+        low, high = _job(priority=0), _job(priority=5, length=1234)
+        assert queue.submit(low) == "queued"
+        assert queue.submit(high) == "queued"
+        assert queue.claim(timeout=1).key == high.key
+        assert queue.claim(timeout=1).key == low.key
+
+    def test_fifo_within_a_priority(self):
+        queue = JobQueue()
+        first, second = _job(length=1111), _job(length=2222)
+        queue.submit(first)
+        queue.submit(second)
+        assert queue.claim(timeout=1).key == first.key
+
+
+class TestDedupe:
+    def test_identical_submission_attaches(self):
+        queue = JobQueue()
+        a, b = _job(), _job()
+        assert a.key == b.key
+        assert queue.submit(a) == "queued"
+        assert queue.submit(b) == "attached"
+        assert b.deduped
+        execution = queue.claim(timeout=1)
+        assert {j.id for j in execution.jobs} == {a.id, b.id}
+        # one execution claim; nothing else queued
+        assert queue.claim(timeout=0.05) is None
+
+    def test_finish_completes_every_rider_with_shared_result(self):
+        queue = JobQueue()
+        a, b = _job(), _job()
+        queue.submit(a)
+        queue.submit(b)
+        execution = queue.claim(timeout=1)
+        done = queue.finish(execution, "done", result={"cells": 1})
+        assert {j.id for j in done} == {a.id, b.id}
+        assert a.result is b.result
+
+    def test_completed_key_serves_from_cache(self):
+        queue = JobQueue()
+        first = _job()
+        queue.submit(first)
+        queue.finish(queue.claim(timeout=1), "done", result={"n": 7})
+        later = _job()
+        assert queue.submit(later) == "cached"
+        assert later.state == "done"
+        assert later.deduped
+        assert later.result == {"n": 7}
+
+    def test_failed_key_is_not_cached(self):
+        queue = JobQueue()
+        first = _job()
+        queue.submit(first)
+        queue.finish(queue.claim(timeout=1), "failed", error="boom")
+        retry = _job()
+        assert queue.submit(retry) == "queued"
+
+    def test_peek(self):
+        queue = JobQueue()
+        job = _job()
+        assert queue.peek(job.key) is None
+        queue.submit(job)
+        assert queue.peek(job.key) == "live"
+        queue.finish(queue.claim(timeout=1), "done", result={})
+        assert queue.peek(job.key) == "cached"
+
+
+class TestCancellation:
+    def test_cancelled_queued_job_never_runs(self):
+        queue = JobQueue()
+        job = _job()
+        queue.submit(job)
+        cancelled = queue.cancel(job.id)
+        assert cancelled.state == "cancelled"
+        assert queue.claim(timeout=0.05) is None
+
+    def test_cancel_is_idempotent_and_keeps_terminal_state(self):
+        queue = JobQueue()
+        job = _job()
+        queue.submit(job)
+        queue.finish(queue.claim(timeout=1), "done", result={})
+        assert queue.cancel(job.id).state == "done"
+
+    def test_one_rider_cancelling_does_not_stop_the_execution(self):
+        queue = JobQueue()
+        a, b = _job(), _job()
+        queue.submit(a)
+        queue.submit(b)
+        execution = queue.claim(timeout=1)
+        queue.cancel(b.id)
+        assert not execution.cancel.is_set()
+        queue.cancel(a.id)  # last rider gone -> execution told to stop
+        assert execution.cancel.is_set()
+
+    def test_unknown_job_cancel_returns_none(self):
+        assert JobQueue().cancel("nope") is None
+
+
+class TestLifecycle:
+    def test_close_unblocks_claim(self):
+        queue = JobQueue()
+        queue.close()
+        assert queue.claim(timeout=5) is None
+
+    def test_restore_repopulates_result_cache(self):
+        queue = JobQueue()
+        done = _job()
+        done.state = "done"
+        done.result = {"n": 1}
+        queue.restore(done)
+        fresh = _job()
+        assert queue.submit(fresh) == "cached"
+
+    def test_depth_counts_states(self):
+        queue = JobQueue()
+        queue.submit(_job())
+        depth = queue.depth()
+        assert depth["queued"] == 1
+        assert depth["executions"] == 1

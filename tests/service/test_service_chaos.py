@@ -1,0 +1,126 @@
+"""Daemon crash chaos: kill -9 mid-job, restart, converge.
+
+Same contract as tests/chaos/test_sweep_chaos.py, one level up: the
+*service* (journal + per-key stores) is what must recover, not just a
+single sweep.  A job acknowledged before the crash completes after a
+restart, and the per-key checkpoint store converges to exactly the
+cells a never-crashed run produces.
+"""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+from repro.service import ServiceClient, ServiceError
+from repro.sim.runner import run_sweep
+from repro.sim.store import RunStore
+
+WORKLOADS = "art,mcf,gzip,twolf,vpr,gcc"
+LENGTH = 6000
+SWEEP = {"workloads": WORKLOADS, "configs": "base,victim_tk",
+         "length": LENGTH}
+
+
+def _free_port():
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn(port, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+                    env.get("PYTHONPATH")) if p)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(port),
+         "--data-dir", str(tmp_path / "service-data"),
+         "--cache-root", str(tmp_path / "trace-cache")],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+
+
+def _await_up(client, process, timeout=30):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"daemon exited early:\n{process.stdout.read()}")
+        try:
+            client.healthz()
+            return
+        except ServiceError:
+            time.sleep(0.1)
+    raise AssertionError("daemon did not come up")
+
+
+def _normalized(cells):
+    out = {}
+    for key, record in cells.items():
+        rec = dict(record)
+        rec.pop("created", None)
+        rec.pop("elapsed", None)
+        rec.pop("telemetry", None)  # timestamps/pids: wall-clock by nature
+        rec["attempts"] = 0
+        out[key] = rec
+    return out
+
+
+class TestKill9Recovery:
+    def test_kill9_mid_job_then_restart_completes_without_result_loss(
+            self, tmp_path):
+        port = _free_port()
+        client = ServiceClient(f"http://127.0.0.1:{port}", timeout=30)
+        first = _spawn(port, tmp_path)
+        try:
+            _await_up(client, first)
+            job_id = client.submit("sweep", dict(SWEEP))["job"]["id"]
+            key = client.job(job_id)["key"]
+            # let some (not all) cells land, then kill -9
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                done = client.job(job_id)["progress"].get("cells_done", 0)
+                if done >= 2:
+                    break
+                time.sleep(0.05)
+            assert done >= 2, "sweep never made progress"
+        finally:
+            first.kill()  # SIGKILL: no drain, no journal close
+            first.wait(timeout=30)
+
+        store_path = (tmp_path / "service-data" / "stores"
+                      / f"sweep-{key}.jsonl")
+        survived = RunStore(store_path).load()[1] if store_path.exists() else {}
+
+        second = _spawn(port, tmp_path)
+        try:
+            _await_up(client, second)
+            job = client.job(job_id)  # the ack survived the crash
+            assert job["attempts"] >= 2  # journal re-queued it
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                job = client.job(job_id)
+                if job["state"] in ("done", "failed", "cancelled"):
+                    break
+                time.sleep(0.2)
+            assert job["state"] == "done"
+            result = client.result(job_id)["result"]
+            # cells that survived the crash were replayed, not re-run
+            assert result["replayed"] == len(survived)
+        finally:
+            second.send_signal(signal.SIGTERM)
+            assert second.wait(timeout=60) == 0
+
+        # store convergence: exactly the cells a never-crashed run makes
+        reference = tmp_path / "reference.jsonl"
+        run_sweep(
+            {"base": {}, "victim_tk": {"victim_filter": "timekeeping"}},
+            workloads=WORKLOADS.split(","), length=LENGTH,
+            warmup=LENGTH // 3, seed=0,
+            store=reference, trace_cache=str(tmp_path / "trace-cache"))
+        want = _normalized(RunStore(reference).load()[1])
+        got = _normalized(RunStore(store_path).load()[1])
+        assert got == want

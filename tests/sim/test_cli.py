@@ -199,6 +199,22 @@ class TestReport:
 
     def test_missing_store_is_clean_error(self, capsys, tmp_path):
         assert main(["report", str(tmp_path / "absent.jsonl")]) == 1
+        err = capsys.readouterr().err
+        assert "error: store not found" in err
+        assert "Traceback" not in err
+
+    def test_missing_store_repair_leaves_no_droppings(self, capsys, tmp_path):
+        # --repair used to construct the store (creating a .lock
+        # sidecar) before discovering the file was absent.
+        absent = tmp_path / "absent.jsonl"
+        assert main(["report", str(absent), "--repair"]) == 1
+        assert "error: store not found" in capsys.readouterr().err
+        assert list(tmp_path.iterdir()) == []
+
+    def test_empty_store_file_is_still_no_sweep_run(self, capsys, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.touch()
+        assert main(["report", str(empty)]) == 1
         assert "no sweep run" in capsys.readouterr().err
 
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Keep docs/SERVICE.md's API reference in sync with the gateway's ROUTES.
+
+The gateway dispatches from a declarative route table
+(``repro.service.gateway.ROUTES``); docs/SERVICE.md documents each
+endpoint under a ``### `METHOD /path``` heading.  This tool fails when
+an endpoint ships undocumented or a documented endpoint no longer
+exists, so the reference can never silently drift from the server.
+
+Dependency-free on purpose (the docs CI job installs nothing): the
+route table is read by ``ast``-parsing the ``ROUTES = (...)`` literal
+out of ``gateway.py`` rather than importing the package, whose import
+chain needs numpy.
+
+Usage::
+
+    python tools/check_service_docs.py     # exit 1 on drift
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC = ROOT / "docs" / "SERVICE.md"
+GATEWAY = ROOT / "src" / "repro" / "service" / "gateway.py"
+
+HEADING_RE = re.compile(
+    r"^### `(?P<method>GET|POST|PUT|DELETE|PATCH) (?P<path>/\S+)`",
+    re.MULTILINE,
+)
+
+
+def documented_endpoints(text: str):
+    """Every ``### `METHOD /path``` heading in the doc, in order."""
+    return [(m["method"], m["path"]) for m in HEADING_RE.finditer(text)]
+
+
+def shipped_endpoints():
+    """Every (method, path) the gateway actually routes."""
+    tree = ast.parse(GATEWAY.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "ROUTES"
+                        for t in node.targets)):
+            routes = ast.literal_eval(node.value)
+            return [(method, pattern) for method, pattern, _, _ in routes]
+    raise SystemExit(f"error: no ROUTES literal found in {GATEWAY}")
+
+
+def main() -> int:
+    """Compare the two sets; report drift in both directions."""
+    if not DOC.exists():
+        print(f"check_service_docs: missing {DOC}")
+        return 1
+    documented = documented_endpoints(DOC.read_text(encoding="utf-8"))
+    shipped = shipped_endpoints()
+    problems = 0
+    for endpoint in shipped:
+        if endpoint not in documented:
+            print("check_service_docs: undocumented endpoint "
+                  f"{endpoint[0]} {endpoint[1]} — add a "
+                  f"'### `{endpoint[0]} {endpoint[1]}`' section to {DOC}")
+            problems += 1
+    for endpoint in documented:
+        if endpoint not in shipped:
+            print("check_service_docs: stale doc heading "
+                  f"'### `{endpoint[0]} {endpoint[1]}`' — no such route "
+                  "in repro.service.gateway.ROUTES")
+            problems += 1
+    if problems:
+        return 1
+    print(f"check_service_docs: OK ({len(shipped)} endpoints documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

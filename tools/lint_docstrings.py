@@ -39,6 +39,7 @@ DEFAULT_PACKAGES = [
     ROOT / "src" / "repro" / "figures",
     ROOT / "src" / "repro" / "sim",
     ROOT / "src" / "repro" / "obs",
+    ROOT / "src" / "repro" / "service",
 ]
 
 FuncDef = (ast.FunctionDef, ast.AsyncFunctionDef)
